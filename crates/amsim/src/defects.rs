@@ -1,0 +1,197 @@
+//! The seeded defect field: where the synthetic build goes wrong.
+//!
+//! Defect sites are sampled per specimen and per stack, with a rate
+//! biased by the stack's spatter/gas-flow interaction factor
+//! ([`ScanSchedule::gas_interaction_factor`]) — reproducing the
+//! paper's observation that scan orientation relative to the gas flow
+//! creates potential defect sites. A site persists across a span of
+//! consecutive layers, which is what gives `correlateEvents` its
+//! cross-layer clusters to find.
+//!
+//! [`ScanSchedule::gas_interaction_factor`]:
+//! crate::scan::ScanSchedule::gas_interaction_factor
+
+use crate::geometry::BuildPlan;
+use crate::noise;
+use crate::scan::ScanSchedule;
+
+/// Whether a defect site melts too hot or too cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectKind {
+    /// Excess thermal energy (over-melting, e.g. spatter-induced
+    /// remelting).
+    Hot,
+    /// Insufficient thermal energy (lack of fusion).
+    Cold,
+}
+
+/// One defect site: a disc in the layer plane persisting over a span
+/// of layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefectSeed {
+    /// The specimen the site belongs to.
+    pub specimen: u32,
+    /// Site center, plate coordinates in mm.
+    pub x_mm: f64,
+    /// Site center, plate coordinates in mm.
+    pub y_mm: f64,
+    /// In-plane radius in mm.
+    pub radius_mm: f64,
+    /// First affected layer.
+    pub start_layer: u32,
+    /// Number of consecutive affected layers.
+    pub layer_span: u32,
+    /// Hot or cold.
+    pub kind: DefectKind,
+    /// Relative severity in `(0, 1]`, scaling the emission delta.
+    pub severity: f64,
+}
+
+impl DefectSeed {
+    /// `true` when the site affects `layer`.
+    pub fn active_on(&self, layer: u32) -> bool {
+        layer >= self.start_layer && layer < self.start_layer + self.layer_span
+    }
+}
+
+/// Deterministically samples the defect field for a build.
+///
+/// `rate` scales the expected number of defect sites per
+/// (specimen, stack); the per-stack expectation is
+/// `rate · (0.15 + 0.85 · gas_interaction_factor(stack))`.
+pub fn generate_defects(
+    plan: &BuildPlan,
+    schedule: &ScanSchedule,
+    seed: u64,
+    rate: f64,
+) -> Vec<DefectSeed> {
+    let mut defects = Vec::new();
+    let layers_per_stack = plan.layers_per_stack();
+    let stacks = plan.layer_count().div_ceil(layers_per_stack);
+    for specimen in plan.specimens() {
+        for stack in 0..stacks {
+            let expectation = rate * (0.15 + 0.85 * schedule.gas_interaction_factor(stack));
+            // Deterministic Poisson-like sampling: integer part plus a
+            // Bernoulli draw on the fractional part.
+            let base = expectation.floor() as u32;
+            let extra = noise::uniform(&[seed, specimen.id as u64, stack as u64, 0xD1CE])
+                < expectation.fract();
+            let count = base + u32::from(extra);
+            for k in 0..count {
+                let words = |salt: u64| [seed, specimen.id as u64, stack as u64, k as u64, salt];
+                // Keep a margin so the disc stays inside the specimen.
+                let margin = 2.0;
+                let rect = &specimen.rect;
+                let x_mm = rect.x + margin + noise::uniform(&words(1)) * (rect.w - 2.0 * margin);
+                let y_mm = rect.y + margin + noise::uniform(&words(2)) * (rect.h - 2.0 * margin);
+                let radius_mm = 0.3 + noise::uniform(&words(3)) * 1.2;
+                let start_in_stack = (noise::uniform(&words(4)) * layers_per_stack as f64) as u32;
+                let start_layer =
+                    (stack * layers_per_stack + start_in_stack).min(plan.layer_count() - 1);
+                let layer_span = 2 + (noise::uniform(&words(5)) * 30.0) as u32;
+                let kind = if noise::uniform(&words(6)) < 0.5 {
+                    DefectKind::Cold
+                } else {
+                    DefectKind::Hot
+                };
+                let severity = 0.5 + noise::uniform(&words(7)) * 0.5;
+                defects.push(DefectSeed {
+                    specimen: specimen.id,
+                    x_mm,
+                    y_mm,
+                    radius_mm,
+                    start_layer,
+                    layer_span,
+                    kind,
+                    severity,
+                });
+            }
+        }
+    }
+    defects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BuildPlan;
+
+    fn field(seed: u64, rate: f64) -> Vec<DefectSeed> {
+        generate_defects(
+            &BuildPlan::paper_build(),
+            &ScanSchedule::default(),
+            seed,
+            rate,
+        )
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(field(42, 1.0), field(42, 1.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(field(1, 1.0), field(2, 1.0));
+    }
+
+    #[test]
+    fn sites_lie_inside_their_specimen() {
+        let plan = BuildPlan::paper_build();
+        for d in field(7, 2.0) {
+            let s = &plan.specimens()[d.specimen as usize];
+            assert!(s.rect.contains(d.x_mm, d.y_mm), "center inside");
+            assert!(
+                s.rect.contains(d.x_mm - d.radius_mm, d.y_mm)
+                    && s.rect.contains(d.x_mm + d.radius_mm, d.y_mm),
+                "disc inside (x)"
+            );
+            assert!(d.severity > 0.0 && d.severity <= 1.0);
+            assert!(d.start_layer < plan.layer_count());
+            assert!(d.layer_span >= 2);
+        }
+    }
+
+    #[test]
+    fn rate_scales_the_field() {
+        let low = field(3, 0.2).len();
+        let high = field(3, 3.0).len();
+        assert!(high > low * 5, "low={low} high={high}");
+    }
+
+    #[test]
+    fn high_interaction_stacks_carry_more_defects() {
+        let plan = BuildPlan::paper_build();
+        let schedule = ScanSchedule::default();
+        let defects = field(11, 2.0);
+        let mut hi = 0usize;
+        let mut lo = 0usize;
+        for d in &defects {
+            let stack = plan.stack_of_layer(d.start_layer);
+            if schedule.gas_interaction_factor(stack) > 0.7 {
+                hi += 1;
+            } else if schedule.gas_interaction_factor(stack) < 0.3 {
+                lo += 1;
+            }
+        }
+        assert!(hi > lo, "hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn active_on_covers_the_span() {
+        let d = DefectSeed {
+            specimen: 0,
+            x_mm: 0.0,
+            y_mm: 0.0,
+            radius_mm: 1.0,
+            start_layer: 10,
+            layer_span: 3,
+            kind: DefectKind::Hot,
+            severity: 1.0,
+        };
+        assert!(!d.active_on(9));
+        assert!(d.active_on(10));
+        assert!(d.active_on(12));
+        assert!(!d.active_on(13));
+    }
+}

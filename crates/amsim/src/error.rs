@@ -1,0 +1,37 @@
+//! Error type for simulator configuration.
+
+use std::fmt;
+
+/// A specialized `Result` whose error type is [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while configuring the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value is out of range (e.g. zero image size,
+    /// specimen outside the plate).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid simulator configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_reason() {
+        assert!(Error::InvalidConfig("plate too small".into())
+            .to_string()
+            .contains("plate too small"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Build-plate geometry: specimens, witness cylinders, stacks.
+
+use crate::error::{Error, Result};
+
+/// An axis-aligned rectangle on the build plate, in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RectMm {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge (gas flows from high `y` — the back — toward `y = 0`).
+    pub y: f64,
+    /// Width along `x`.
+    pub w: f64,
+    /// Height along `y`.
+    pub h: f64,
+}
+
+impl RectMm {
+    /// Creates a rectangle.
+    pub const fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        RectMm { x, y, w, h }
+    }
+
+    /// `true` when `(px, py)` lies inside (half-open bounds).
+    pub fn contains(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.x + self.w && py >= self.y && py < self.y + self.h
+    }
+
+    /// The rectangle's center.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+}
+
+/// One specimen on the plate: its footprint and the three witness
+/// cylinders used for X-ray CT in the paper's build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecimenLayout {
+    /// Dense specimen id, 0-based.
+    pub id: u32,
+    /// Footprint on the plate.
+    pub rect: RectMm,
+    /// Witness cylinders: `(center_x, center_y, radius)`, in mm.
+    pub cylinders: Vec<(f64, f64, f64)>,
+}
+
+impl SpecimenLayout {
+    /// A specimen with the paper's three witness cylinders spaced
+    /// along the long axis.
+    pub fn with_default_cylinders(id: u32, rect: RectMm) -> Self {
+        let (cx, _) = rect.center();
+        let r = (rect.w.min(rect.h) * 0.08).max(0.5);
+        let cylinders = (1..=3)
+            .map(|k| (cx, rect.y + rect.h * k as f64 / 4.0, r))
+            .collect();
+        SpecimenLayout {
+            id,
+            rect,
+            cylinders,
+        }
+    }
+
+    /// `true` when `(px, py)` is inside any witness cylinder.
+    pub fn in_cylinder(&self, px: f64, py: f64) -> bool {
+        self.cylinders.iter().any(|&(cx, cy, r)| {
+            let dx = px - cx;
+            let dy = py - cy;
+            dx * dx + dy * dy <= r * r
+        })
+    }
+}
+
+/// The whole build: plate size, specimen layout and the vertical
+/// slicing into layers and stacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildPlan {
+    plate_mm: f64,
+    specimens: Vec<SpecimenLayout>,
+    layer_thickness_mm: f64,
+    stack_height_mm: f64,
+    part_height_mm: f64,
+}
+
+impl BuildPlan {
+    /// The paper's build: a 250×250 mm plate with 12 specimens of
+    /// 25 (width) × 50 (length) × 23 (height) mm in a 4×3 grid, 40 µm
+    /// layers, 1 mm stacks.
+    pub fn paper_build() -> Self {
+        let mut specimens = Vec::with_capacity(12);
+        for row in 0..3u32 {
+            for col in 0..4u32 {
+                let rect = RectMm::new(
+                    20.0 + col as f64 * 55.0,
+                    20.0 + row as f64 * 72.0,
+                    25.0,
+                    50.0,
+                );
+                specimens.push(SpecimenLayout::with_default_cylinders(row * 4 + col, rect));
+            }
+        }
+        BuildPlan {
+            plate_mm: 250.0,
+            specimens,
+            layer_thickness_mm: 0.04,
+            stack_height_mm: 1.0,
+            part_height_mm: 23.0,
+        }
+    }
+
+    /// Creates a custom plan.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when dimensions are non-positive,
+    /// specimens fall outside the plate, or there is no specimen.
+    pub fn new(
+        plate_mm: f64,
+        specimens: Vec<SpecimenLayout>,
+        layer_thickness_mm: f64,
+        stack_height_mm: f64,
+        part_height_mm: f64,
+    ) -> Result<Self> {
+        if plate_mm <= 0.0
+            || layer_thickness_mm <= 0.0
+            || stack_height_mm <= 0.0
+            || part_height_mm <= 0.0
+        {
+            return Err(Error::InvalidConfig(
+                "plate, layer, stack and part dimensions must be positive".into(),
+            ));
+        }
+        if specimens.is_empty() {
+            return Err(Error::InvalidConfig("a build needs ≥ 1 specimen".into()));
+        }
+        for s in &specimens {
+            let r = &s.rect;
+            if r.x < 0.0 || r.y < 0.0 || r.x + r.w > plate_mm || r.y + r.h > plate_mm {
+                return Err(Error::InvalidConfig(format!(
+                    "specimen {} exceeds the {plate_mm} mm plate",
+                    s.id
+                )));
+            }
+        }
+        Ok(BuildPlan {
+            plate_mm,
+            specimens,
+            layer_thickness_mm,
+            stack_height_mm,
+            part_height_mm,
+        })
+    }
+
+    /// Plate edge length in mm (plates are square).
+    pub fn plate_mm(&self) -> f64 {
+        self.plate_mm
+    }
+
+    /// The specimens on the plate.
+    pub fn specimens(&self) -> &[SpecimenLayout] {
+        &self.specimens
+    }
+
+    /// Layer thickness in mm.
+    pub fn layer_thickness_mm(&self) -> f64 {
+        self.layer_thickness_mm
+    }
+
+    /// Number of layers in the whole build.
+    pub fn layer_count(&self) -> u32 {
+        (self.part_height_mm / self.layer_thickness_mm).ceil() as u32
+    }
+
+    /// Layers per 1 stack (the paper: 1 mm stacks of 40 µm layers →
+    /// 25).
+    pub fn layers_per_stack(&self) -> u32 {
+        (self.stack_height_mm / self.layer_thickness_mm)
+            .round()
+            .max(1.0) as u32
+    }
+
+    /// The stack index a layer belongs to.
+    pub fn stack_of_layer(&self, layer: u32) -> u32 {
+        layer / self.layers_per_stack()
+    }
+
+    /// The specimen containing `(x_mm, y_mm)`, if any.
+    pub fn specimen_at(&self, x_mm: f64, y_mm: f64) -> Option<&SpecimenLayout> {
+        self.specimens.iter().find(|s| s.rect.contains(x_mm, y_mm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_build_matches_the_papers_numbers() {
+        let plan = BuildPlan::paper_build();
+        assert_eq!(plan.plate_mm(), 250.0);
+        assert_eq!(plan.specimens().len(), 12);
+        assert_eq!(plan.layer_count(), 575, "23 mm / 40 µm");
+        assert_eq!(plan.layers_per_stack(), 25, "1 mm / 40 µm");
+        assert_eq!(plan.stack_of_layer(0), 0);
+        assert_eq!(plan.stack_of_layer(24), 0);
+        assert_eq!(plan.stack_of_layer(25), 1);
+        for s in plan.specimens() {
+            assert_eq!(s.rect.w, 25.0);
+            assert_eq!(s.rect.h, 50.0);
+            assert_eq!(s.cylinders.len(), 3);
+        }
+    }
+
+    #[test]
+    fn specimens_do_not_overlap_and_fit_the_plate() {
+        let plan = BuildPlan::paper_build();
+        let specimens = plan.specimens();
+        for s in specimens {
+            assert!(s.rect.x >= 0.0 && s.rect.x + s.rect.w <= 250.0);
+            assert!(s.rect.y >= 0.0 && s.rect.y + s.rect.h <= 250.0);
+        }
+        for (i, a) in specimens.iter().enumerate() {
+            for b in &specimens[i + 1..] {
+                let disjoint = a.rect.x + a.rect.w <= b.rect.x
+                    || b.rect.x + b.rect.w <= a.rect.x
+                    || a.rect.y + a.rect.h <= b.rect.y
+                    || b.rect.y + b.rect.h <= a.rect.y;
+                assert!(disjoint, "specimens {} and {} overlap", a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn specimen_lookup() {
+        let plan = BuildPlan::paper_build();
+        let s0 = &plan.specimens()[0];
+        let (cx, cy) = s0.rect.center();
+        assert_eq!(plan.specimen_at(cx, cy).unwrap().id, 0);
+        assert!(plan.specimen_at(0.0, 0.0).is_none(), "plate margin");
+    }
+
+    #[test]
+    fn cylinders_are_inside_their_specimen() {
+        let plan = BuildPlan::paper_build();
+        for s in plan.specimens() {
+            for &(cx, cy, r) in &s.cylinders {
+                assert!(s.rect.contains(cx - r, cy) && s.rect.contains(cx + r, cy));
+                assert!(s.in_cylinder(cx, cy));
+                assert!(!s.in_cylinder(cx + 2.0 * r, cy + 2.0 * r));
+            }
+        }
+    }
+
+    #[test]
+    fn custom_plan_validation() {
+        let bad = SpecimenLayout::with_default_cylinders(0, RectMm::new(240.0, 0.0, 25.0, 50.0));
+        assert!(BuildPlan::new(250.0, vec![bad], 0.04, 1.0, 23.0).is_err());
+        assert!(BuildPlan::new(250.0, vec![], 0.04, 1.0, 23.0).is_err());
+        let good = SpecimenLayout::with_default_cylinders(0, RectMm::new(10.0, 10.0, 25.0, 50.0));
+        assert!(BuildPlan::new(250.0, vec![good.clone()], 0.04, 1.0, 23.0).is_ok());
+        assert!(BuildPlan::new(250.0, vec![good], 0.0, 1.0, 23.0).is_err());
+    }
+
+    #[test]
+    fn rect_contains_is_half_open() {
+        let r = RectMm::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(0.0, 0.0));
+        assert!(!r.contains(10.0, 5.0));
+        assert!(!r.contains(5.0, 10.0));
+        assert_eq!(r.center(), (5.0, 5.0));
+    }
+}

@@ -1,0 +1,63 @@
+//! `strata-amsim` — a deterministic PBF-LB machine and OT sensor
+//! simulator.
+//!
+//! The STRATA paper evaluates on data from a real print: an EOS M290
+//! machine with an sCMOS optical-tomography (OT) sensor producing one
+//! 2000×2000, 8-bit, long-exposure image of the 250×250 mm build area
+//! per layer, with a ~3 s recoat gap between layers (§5). The build
+//! holds 12 specimens of 25×50×23 mm, each with three small witness
+//! cylinders for later X-ray CT, sliced into 1 mm stacks whose laser
+//! scan orientation rotates per stack; the interaction between the
+//! scan direction and the back-to-front shielding-gas flow creates
+//! potential defect sites (Ladewig et al. 2016, the paper's reference 17).
+//!
+//! Neither the machine nor the recorded OT data are available, so
+//! this crate synthesizes the closest equivalent (see DESIGN.md §2):
+//!
+//! * [`geometry`] — the build plate, specimen layout and witness
+//!   cylinders, with the paper's dimensions as the default plan;
+//! * [`scan`] — per-stack scan orientation and the gas-flow
+//!   interaction factor;
+//! * [`defects`] — a seeded field of hot/cold defect sites that
+//!   persist across layers, biased by the interaction factor;
+//! * [`thermal`] — the per-pixel emission model (base melt-pool
+//!   intensity, scan-stripe modulation, sensor noise, defect
+//!   deltas);
+//! * [`image`] — the gray-scale OT image container (with PGM export
+//!   for visual inspection — Figure 4);
+//! * [`machine`] — ties everything together: layer timestamps with
+//!   melt + recoat timing, per-layer printing parameters, and
+//!   deterministic `ot_image(layer)` rendering.
+//!
+//! Determinism: every pixel is a pure function of
+//! `(seed, job, layer, x, y)` via counter-based hashing, so images
+//! can be regenerated at any time, in any order, on any thread.
+//!
+//! # Example
+//!
+//! ```
+//! use strata_amsim::{BuildPlan, MachineConfig, PbfLbMachine};
+//!
+//! let config = MachineConfig::paper_build(7).image_px(200); // small for the doctest
+//! let machine = PbfLbMachine::new(config)?;
+//! let image = machine.ot_image(0);
+//! assert_eq!(image.width(), 200);
+//! assert!(machine.layer_count() > 500, "23 mm at 40 µm per layer");
+//! # Ok::<(), strata_amsim::Error>(())
+//! ```
+
+pub mod defects;
+pub mod error;
+pub mod geometry;
+pub mod image;
+pub mod machine;
+pub mod noise;
+pub mod scan;
+pub mod thermal;
+
+pub use defects::{DefectKind, DefectSeed};
+pub use error::{Error, Result};
+pub use geometry::{BuildPlan, RectMm, SpecimenLayout};
+pub use image::OtImage;
+pub use machine::{LayerParameters, MachineConfig, PbfLbMachine, RecoaterStreak};
+pub use thermal::ThermalModel;

@@ -1,0 +1,499 @@
+//! The simulated PBF-LB machine: layer timing, printing parameters
+//! and OT image rendering.
+
+use std::sync::Arc;
+
+use crate::defects::{generate_defects, DefectSeed};
+use crate::error::{Error, Result};
+use crate::geometry::BuildPlan;
+use crate::image::OtImage;
+use crate::scan::ScanSchedule;
+use crate::thermal::{PixelThresholds, ThermalModel};
+
+/// A recoater fault: a powder short-feed streak along the recoating
+/// direction (a vertical band of the plate receives too little
+/// powder), depressing the emission of every specimen it crosses for
+/// a span of layers. A classic PBF-LB process fault and a distinct
+/// *type of monitored defect* (the paper's future-work axis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoaterStreak {
+    /// Left edge of the streak on the plate, mm.
+    pub x_mm: f64,
+    /// Width of the streak, mm.
+    pub width_mm: f64,
+    /// First affected layer.
+    pub start_layer: u32,
+    /// Number of affected layers.
+    pub layer_span: u32,
+    /// Emission attenuation inside the streak, `(0, 1]`; 0.4 means
+    /// pixels keep 40 % of their nominal value.
+    pub attenuation: f64,
+}
+
+impl RecoaterStreak {
+    /// `true` when the streak affects `layer`.
+    pub fn active_on(&self, layer: u32) -> bool {
+        layer >= self.start_layer && layer < self.start_layer + self.layer_span
+    }
+
+    /// `true` when the streak covers the plate coordinate `x_mm`.
+    pub fn covers(&self, x_mm: f64) -> bool {
+        x_mm >= self.x_mm && x_mm < self.x_mm + self.width_mm
+    }
+}
+
+/// Configuration of a simulated printing job, builder style.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    job: u32,
+    plan: BuildPlan,
+    schedule: ScanSchedule,
+    thermal: ThermalModel,
+    seed: u64,
+    image_px: u32,
+    melt_ms: u64,
+    recoat_ms: u64,
+    defect_rate: f64,
+    streaks: Vec<RecoaterStreak>,
+}
+
+impl MachineConfig {
+    /// The paper's setup for printing job `job`: the
+    /// [`BuildPlan::paper_build`] geometry, 2000×2000 px images, a
+    /// 3 s recoat gap, and a nominal 60 s melt time per layer
+    /// ("live OT images come within a period of minutes").
+    pub fn paper_build(job: u32) -> Self {
+        MachineConfig {
+            job,
+            plan: BuildPlan::paper_build(),
+            schedule: ScanSchedule::default(),
+            thermal: ThermalModel::default(),
+            seed: 0x57A7A + job as u64,
+            image_px: 2000,
+            melt_ms: 60_000,
+            recoat_ms: 3_000,
+            defect_rate: 0.6,
+            streaks: Vec::new(),
+        }
+    }
+
+    /// Substitutes a custom build plan.
+    pub fn plan(mut self, plan: BuildPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Substitutes a custom scan schedule.
+    pub fn schedule(mut self, schedule: ScanSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Substitutes a custom thermal model.
+    pub fn thermal(mut self, thermal: ThermalModel) -> Self {
+        self.thermal = thermal;
+        self
+    }
+
+    /// Sets the random seed (defaults to a job-derived one).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the OT image edge length in pixels (default 2000).
+    pub fn image_px(mut self, px: u32) -> Self {
+        self.image_px = px;
+        self
+    }
+
+    /// Sets melt and recoat durations in milliseconds.
+    pub fn timing(mut self, melt_ms: u64, recoat_ms: u64) -> Self {
+        self.melt_ms = melt_ms;
+        self.recoat_ms = recoat_ms;
+        self
+    }
+
+    /// Scales the defect density (defects per specimen per stack).
+    pub fn defect_rate(mut self, rate: f64) -> Self {
+        self.defect_rate = rate.max(0.0);
+        self
+    }
+
+    /// Injects a recoater short-feed streak fault.
+    pub fn with_streak(mut self, streak: RecoaterStreak) -> Self {
+        self.streaks.push(streak);
+        self
+    }
+}
+
+/// Per-specimen pixel rectangles `(id, x, y, w, h)` in OT image
+/// coordinates.
+pub type SpecimenPxRects = Vec<(u32, u32, u32, u32, u32)>;
+
+/// Printing parameters of one layer — what the paper's
+/// `PrintingParameterCollector` source reports, including the
+/// specimen layout information `isolateSpecimen()` needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerParameters {
+    /// The printing job.
+    pub job: u32,
+    /// The layer these parameters apply to.
+    pub layer: u32,
+    /// The 1 mm stack the layer belongs to.
+    pub stack: u32,
+    /// Scan orientation for this stack, degrees in `[0, 180)`.
+    pub scan_angle_deg: f64,
+    /// Spatter/gas-flow interaction factor for this stack, `[0, 1]`.
+    pub gas_interaction: f64,
+    /// Nominal laser power, W.
+    pub laser_power_w: f64,
+    /// Nominal scan speed, mm/s.
+    pub scan_speed_mm_s: f64,
+    /// Per-specimen pixel rectangles `(id, x, y, w, h)` in OT image
+    /// coordinates.
+    pub specimen_px: Arc<SpecimenPxRects>,
+}
+
+/// The simulated machine for one printing job.
+///
+/// All rendering is deterministic: `ot_image(layer)` is a pure
+/// function of the configuration, so layers can be generated lazily,
+/// re-generated for replay, or rendered in parallel.
+#[derive(Debug)]
+pub struct PbfLbMachine {
+    config: MachineConfig,
+    defects: Vec<DefectSeed>,
+    specimen_px: Arc<SpecimenPxRects>,
+}
+
+impl PbfLbMachine {
+    /// Builds the machine, sampling the job's defect field.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for a zero image size.
+    pub fn new(config: MachineConfig) -> Result<Self> {
+        if config.image_px == 0 {
+            return Err(Error::InvalidConfig("image_px must be > 0".into()));
+        }
+        let defects = generate_defects(
+            &config.plan,
+            &config.schedule,
+            config.seed,
+            config.defect_rate,
+        );
+        let px_per_mm = config.image_px as f64 / config.plan.plate_mm();
+        let specimen_px = Arc::new(
+            config
+                .plan
+                .specimens()
+                .iter()
+                .map(|s| {
+                    (
+                        s.id,
+                        (s.rect.x * px_per_mm) as u32,
+                        (s.rect.y * px_per_mm) as u32,
+                        (s.rect.w * px_per_mm).ceil() as u32,
+                        (s.rect.h * px_per_mm).ceil() as u32,
+                    )
+                })
+                .collect(),
+        );
+        Ok(PbfLbMachine {
+            config,
+            defects,
+            specimen_px,
+        })
+    }
+
+    /// The job id this machine is printing.
+    pub fn job(&self) -> u32 {
+        self.config.job
+    }
+
+    /// The build plan being printed.
+    pub fn plan(&self) -> &BuildPlan {
+        &self.config.plan
+    }
+
+    /// Total number of layers in the job.
+    pub fn layer_count(&self) -> u32 {
+        self.config.plan.layer_count()
+    }
+
+    /// Event time (ms since job start) at which the OT image of
+    /// `layer` is emitted: after the layer's melt, before its recoat.
+    pub fn layer_timestamp_ms(&self, layer: u32) -> u64 {
+        layer as u64 * (self.config.melt_ms + self.config.recoat_ms) + self.config.melt_ms
+    }
+
+    /// The recoat gap between layers, ms — the paper's QoS deadline.
+    pub fn recoat_ms(&self) -> u64 {
+        self.config.recoat_ms
+    }
+
+    /// Ground-truth defect sites (for validation and tests; a real
+    /// machine would not expose this).
+    pub fn defects(&self) -> &[DefectSeed] {
+        &self.defects
+    }
+
+    /// Ground-truth recoater streak faults.
+    pub fn streaks(&self) -> &[RecoaterStreak] {
+        &self.config.streaks
+    }
+
+    /// Pixel-level thresholds an expert would derive from historical
+    /// jobs of this machine.
+    pub fn reference_thresholds(&self) -> PixelThresholds {
+        self.config.thermal.reference_thresholds()
+    }
+
+    /// Printing parameters of `layer`.
+    pub fn printing_parameters(&self, layer: u32) -> LayerParameters {
+        let stack = self.config.plan.stack_of_layer(layer);
+        LayerParameters {
+            job: self.config.job,
+            layer,
+            stack,
+            scan_angle_deg: self.config.schedule.angle_deg(stack),
+            gas_interaction: self.config.schedule.gas_interaction_factor(stack),
+            laser_power_w: 280.0,
+            scan_speed_mm_s: 1200.0,
+            specimen_px: Arc::clone(&self.specimen_px),
+        }
+    }
+
+    /// Renders the OT image of `layer`.
+    pub fn ot_image(&self, layer: u32) -> OtImage {
+        let px = self.config.image_px;
+        let px_per_mm = px as f64 / self.config.plan.plate_mm();
+        let mm_per_px = 1.0 / px_per_mm;
+        let seed = self.config.seed;
+        let thermal = &self.config.thermal;
+        let stack = self.config.plan.stack_of_layer(layer);
+        let scan_angle = self.config.schedule.angle_deg(stack);
+        let active: Vec<&DefectSeed> = self.defects.iter().filter(|d| d.active_on(layer)).collect();
+
+        let mut image = OtImage::new(px, px);
+        // Background: constant powder level (noise only inside parts;
+        // keeps full-plate rendering affordable).
+        let bg = thermal.background as u8;
+        for y in 0..px {
+            for x in 0..px {
+                image.set(x, y, bg);
+            }
+        }
+        for (sid, sx, sy, sw, sh) in self.specimen_px.iter() {
+            let specimen = &self.config.plan.specimens()[*sid as usize];
+            let active_here: Vec<&DefectSeed> = active
+                .iter()
+                .filter(|d| d.specimen == *sid)
+                .copied()
+                .collect();
+            for y in *sy..(*sy + *sh).min(px) {
+                let y_mm = (y as f64 + 0.5) * mm_per_px;
+                for x in *sx..(*sx + *sw).min(px) {
+                    let x_mm = (x as f64 + 0.5) * mm_per_px;
+                    if !specimen.rect.contains(x_mm, y_mm) {
+                        continue;
+                    }
+                    let mut value = thermal.specimen_pixel(
+                        specimen,
+                        &active_here,
+                        scan_angle,
+                        seed,
+                        layer,
+                        x_mm,
+                        y_mm,
+                        x as u64,
+                        y as u64,
+                    );
+                    for streak in &self.config.streaks {
+                        if streak.active_on(layer) && streak.covers(x_mm) {
+                            value = (value as f64 * streak.attenuation) as u8;
+                        }
+                    }
+                    image.set(x, y, value);
+                }
+            }
+        }
+        image
+    }
+
+    /// Convenience: `(timestamp_ms, parameters, image)` for every
+    /// layer, in order. Rendering happens lazily as the iterator
+    /// advances.
+    pub fn layers(&self) -> impl Iterator<Item = (u64, LayerParameters, OtImage)> + '_ {
+        (0..self.layer_count()).map(move |layer| {
+            (
+                self.layer_timestamp_ms(layer),
+                self.printing_parameters(layer),
+                self.ot_image(layer),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_machine(job: u32) -> PbfLbMachine {
+        PbfLbMachine::new(MachineConfig::paper_build(job).image_px(250)).unwrap()
+    }
+
+    #[test]
+    fn validates_config() {
+        assert!(PbfLbMachine::new(MachineConfig::paper_build(0).image_px(0)).is_err());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let m1 = small_machine(1);
+        let m2 = small_machine(1);
+        assert_eq!(m1.ot_image(10), m2.ot_image(10));
+        assert_ne!(
+            small_machine(2).ot_image(10),
+            m1.ot_image(10),
+            "different job → different seed → different image"
+        );
+    }
+
+    #[test]
+    fn timing_matches_the_paper() {
+        let m = small_machine(0);
+        assert_eq!(m.recoat_ms(), 3_000);
+        let t0 = m.layer_timestamp_ms(0);
+        let t1 = m.layer_timestamp_ms(1);
+        assert_eq!(t1 - t0, 63_000, "melt + recoat");
+        assert_eq!(m.layer_count(), 575);
+    }
+
+    #[test]
+    fn specimen_areas_glow_and_background_does_not() {
+        let m = small_machine(3);
+        let img = m.ot_image(5);
+        let (_, sx, sy, sw, sh) = m.printing_parameters(5).specimen_px[0];
+        let inside = img.region_mean(sx + 2, sy + 2, sw - 4, sh - 4);
+        let outside = img.region_mean(0, 0, 10, 10);
+        assert!(inside > 100.0, "melted area mean {inside}");
+        assert!(outside < 30.0, "powder mean {outside}");
+    }
+
+    #[test]
+    fn defect_sites_show_up_in_the_image() {
+        let m = PbfLbMachine::new(MachineConfig::paper_build(4).image_px(500).defect_rate(2.0))
+            .unwrap();
+        let thresholds = m.reference_thresholds();
+        // Find a defect with a usable span and look at its center.
+        let d = m
+            .defects()
+            .iter()
+            .find(|d| d.severity > 0.8 && d.radius_mm > 0.8)
+            .expect("a strong defect exists at rate 2.0");
+        let img = m.ot_image(d.start_layer);
+        let px_per_mm = 500.0 / 250.0;
+        let cx = (d.x_mm * px_per_mm) as u32;
+        let cy = (d.y_mm * px_per_mm) as u32;
+        let center = img.region_mean(cx.saturating_sub(1), cy.saturating_sub(1), 3, 3);
+        match d.kind {
+            crate::defects::DefectKind::Hot => {
+                assert!(center > thresholds.warm, "hot site mean {center}")
+            }
+            crate::defects::DefectKind::Cold => {
+                assert!(center < thresholds.cold, "cold site mean {center}")
+            }
+        }
+    }
+
+    #[test]
+    fn printing_parameters_follow_the_stack_schedule() {
+        let m = small_machine(0);
+        let p0 = m.printing_parameters(0);
+        let p24 = m.printing_parameters(24);
+        let p25 = m.printing_parameters(25);
+        assert_eq!(p0.stack, 0);
+        assert_eq!(p24.stack, 0);
+        assert_eq!(p25.stack, 1);
+        assert_eq!(p0.scan_angle_deg, p24.scan_angle_deg);
+        assert_ne!(p0.scan_angle_deg, p25.scan_angle_deg);
+        assert_eq!(p0.specimen_px.len(), 12);
+    }
+
+    #[test]
+    fn recoater_streaks_darken_their_band() {
+        let streak = RecoaterStreak {
+            x_mm: 100.0,
+            width_mm: 10.0,
+            start_layer: 2,
+            layer_span: 3,
+            attenuation: 0.3,
+        };
+        let m = PbfLbMachine::new(
+            MachineConfig::paper_build(8)
+                .image_px(250)
+                .defect_rate(0.0)
+                .with_streak(streak),
+        )
+        .unwrap();
+        assert_eq!(m.streaks(), &[streak]);
+        // The streak crosses specimen column 1 (x = 75..100 mm? the
+        // second column starts at 75 mm; band 100..110 mm overlaps
+        // specimens at x = 75..100? No: columns are at 20, 75, 130,
+        // 185 mm with width 25 → the band 100..110 falls in the gap.
+        // Use the third column (130..155 mm): compare columns inside
+        // vs outside the band on an affected vs unaffected layer.
+        let streaked = PbfLbMachine::new(
+            MachineConfig::paper_build(8)
+                .image_px(250)
+                .defect_rate(0.0)
+                .with_streak(RecoaterStreak {
+                    x_mm: 132.0,
+                    width_mm: 8.0,
+                    start_layer: 2,
+                    layer_span: 3,
+                    attenuation: 0.3,
+                }),
+        )
+        .unwrap();
+        let px_per_mm = 250.0 / 250.0; // 1 px per mm at 250 px
+        let in_band_x = (134.0 * px_per_mm) as u32;
+        let out_band_x = (150.0 * px_per_mm) as u32;
+        let y = (30.0 * px_per_mm) as u32; // inside the third column's first row specimen
+        let affected = streaked.ot_image(2);
+        let unaffected = streaked.ot_image(0);
+        let dark = affected.region_mean(in_band_x, y, 3, 10);
+        let bright = affected.region_mean(out_band_x, y, 3, 10);
+        assert!(dark < bright * 0.6, "dark={dark} bright={bright}");
+        // Layers outside the span are untouched.
+        let before = unaffected.region_mean(in_band_x, y, 3, 10);
+        assert!(before > bright * 0.8, "before={before} bright={bright}");
+    }
+
+    #[test]
+    fn streak_helpers() {
+        let s = RecoaterStreak {
+            x_mm: 10.0,
+            width_mm: 5.0,
+            start_layer: 4,
+            layer_span: 2,
+            attenuation: 0.5,
+        };
+        assert!(s.covers(10.0) && s.covers(14.9) && !s.covers(15.0) && !s.covers(9.9));
+        assert!(!s.active_on(3) && s.active_on(4) && s.active_on(5) && !s.active_on(6));
+    }
+
+    #[test]
+    fn layers_iterator_is_ordered_and_lazy() {
+        let m = small_machine(0);
+        let mut last_ts = 0;
+        for (ts, params, img) in m.layers().take(3) {
+            assert!(ts > last_ts);
+            last_ts = ts;
+            assert_eq!(img.width(), 250);
+            assert!(params.layer < 3);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Counter-based deterministic noise.
+//!
+//! Every pixel of every layer must be a pure function of
+//! `(seed, layer, x, y)` so that images are reproducible and
+//! renderable in any order. This module provides a splitmix64-based
+//! hash usable as stateless white noise.
+
+/// Mixes an arbitrary number of 64-bit words into one well-distributed
+/// 64-bit value (splitmix64 finalizer over a running combination).
+pub fn hash_mix(words: &[u64]) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64;
+    for &w in words {
+        acc ^= w.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        acc = splitmix64(acc);
+    }
+    acc
+}
+
+/// The splitmix64 finalizer: a cheap, high-quality bijective mixer.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform sample in `[0, 1)` derived from the mixed `words`.
+pub fn uniform(words: &[u64]) -> f64 {
+    (hash_mix(words) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Approximately standard-normal sample derived from the mixed
+/// `words` (sum of four uniforms, Irwin–Hall; plenty for sensor
+/// noise).
+pub fn gaussian(words: &[u64]) -> f64 {
+    let base = hash_mix(words);
+    let mut sum = 0.0;
+    for i in 0..4u64 {
+        sum += (splitmix64(base.wrapping_add(i)) >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    // Irwin-Hall(4): mean 2, variance 4/12; normalize.
+    (sum - 2.0) / (4.0f64 / 12.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(hash_mix(&[1, 2, 3]), hash_mix(&[1, 2, 3]));
+        assert_eq!(uniform(&[9, 9]), uniform(&[9, 9]));
+        assert_eq!(gaussian(&[4, 2]), gaussian(&[4, 2]));
+    }
+
+    #[test]
+    fn different_inputs_decorrelate() {
+        assert_ne!(hash_mix(&[1, 2, 3]), hash_mix(&[1, 2, 4]));
+        assert_ne!(hash_mix(&[1, 2]), hash_mix(&[2, 1]), "order matters");
+    }
+
+    #[test]
+    fn uniform_is_in_range_and_spread() {
+        let samples: Vec<f64> = (0..10_000).map(|i| uniform(&[42, i])).collect();
+        assert!(samples.iter().all(|&u| (0.0..1.0).contains(&u)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_variance() {
+        let samples: Vec<f64> = (0..10_000).map(|i| gaussian(&[7, i])).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

@@ -1,0 +1,305 @@
+//! The per-pixel emission model behind the synthetic OT images.
+//!
+//! A pixel's gray value approximates the light emanation of the melt
+//! pool and solidifying material at that location:
+//!
+//! * **background** — unmolten powder emits almost nothing;
+//! * **base emission** — molten specimen area emits around a nominal
+//!   level;
+//! * **scan stripes** — a sinusoidal modulation perpendicular to the
+//!   stack's scan direction (hatch lines in long-exposure OT images);
+//! * **witness cylinders** — slightly elevated emission (different
+//!   thermal mass);
+//! * **defects** — active sites add (hot) or subtract (cold) a
+//!   Gaussian-shaped delta;
+//! * **sensor noise** — white Gaussian noise.
+//!
+//! Everything is a pure function of `(seed, layer, pixel)`.
+
+use crate::defects::{DefectKind, DefectSeed};
+use crate::geometry::SpecimenLayout;
+use crate::noise;
+
+/// Pixel-level classification thresholds matched to the emission
+/// model, playing the role of the paper's "threshold value …
+/// computed based on historical information from previous jobs".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PixelThresholds {
+    /// Below this a pixel is *very cold*.
+    pub very_cold: f64,
+    /// Below this a pixel is *cold*.
+    pub cold: f64,
+    /// Above this a pixel is *warm*.
+    pub warm: f64,
+    /// Above this a pixel is *very warm*.
+    pub very_warm: f64,
+}
+
+/// The emission model's tunable constants (defaults follow the
+/// description above; units are 8-bit gray levels and millimetres).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Gray level of unmolten powder.
+    pub background: f64,
+    /// Nominal gray level of well-melted material.
+    pub base: f64,
+    /// Amplitude of the scan-stripe modulation.
+    pub stripe_amplitude: f64,
+    /// Spatial period of the stripes, mm.
+    pub stripe_period_mm: f64,
+    /// Extra emission inside witness cylinders.
+    pub cylinder_delta: f64,
+    /// Peak emission delta of a full-severity defect.
+    pub defect_delta: f64,
+    /// Standard deviation of the sensor noise.
+    pub noise_sigma: f64,
+    /// Powder-aging factor: reused powder degrades melt stability, so
+    /// the effective noise grows by this fraction per layer
+    /// (`σ_eff = σ · (1 + aging · layer)`). 0 disables aging — the
+    /// paper's related work flags powder reusability as a key quality
+    /// concern (§6).
+    pub powder_aging_per_layer: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel {
+            background: 6.0,
+            base: 140.0,
+            stripe_amplitude: 9.0,
+            stripe_period_mm: 2.0,
+            cylinder_delta: 8.0,
+            defect_delta: 90.0,
+            noise_sigma: 5.0,
+            powder_aging_per_layer: 0.0,
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Thresholds consistent with the default model: the normal
+    /// melted range is `base ± (stripes + cylinders + 3σ)`; the
+    /// *very* thresholds sit well into defect territory.
+    pub fn reference_thresholds(&self) -> PixelThresholds {
+        let normal_spread = self.stripe_amplitude + self.cylinder_delta + 3.0 * self.noise_sigma;
+        PixelThresholds {
+            cold: self.base - normal_spread,
+            very_cold: self.base - normal_spread - 0.35 * self.defect_delta,
+            warm: self.base + normal_spread,
+            very_warm: self.base + normal_spread + 0.35 * self.defect_delta,
+        }
+    }
+
+    /// Emission of the pixel at `(x_mm, y_mm)` inside `specimen`,
+    /// given the stack's scan angle and the defect sites active on
+    /// this layer. `active_defects` must already be filtered to the
+    /// current layer (but may span all specimens).
+    #[allow(clippy::too_many_arguments)]
+    pub fn specimen_pixel(
+        &self,
+        specimen: &SpecimenLayout,
+        active_defects: &[&DefectSeed],
+        scan_angle_deg: f64,
+        seed: u64,
+        layer: u32,
+        x_mm: f64,
+        y_mm: f64,
+        px: u64,
+        py: u64,
+    ) -> u8 {
+        let mut value = self.base;
+
+        // Scan stripes: modulation along the direction perpendicular
+        // to the hatch lines, with a per-layer phase.
+        let theta = scan_angle_deg.to_radians();
+        let projection = x_mm * theta.cos() + y_mm * theta.sin();
+        let phase = noise::uniform(&[seed, layer as u64, 0x5712]) * std::f64::consts::TAU;
+        value += self.stripe_amplitude
+            * (std::f64::consts::TAU * projection / self.stripe_period_mm + phase).sin();
+
+        if specimen.in_cylinder(x_mm, y_mm) {
+            value += self.cylinder_delta;
+        }
+
+        for defect in active_defects {
+            if defect.specimen != specimen.id {
+                continue;
+            }
+            let dx = x_mm - defect.x_mm;
+            let dy = y_mm - defect.y_mm;
+            let r_sq = defect.radius_mm * defect.radius_mm;
+            let falloff = (-(dx * dx + dy * dy) / (2.0 * r_sq)).exp();
+            let delta = self.defect_delta * defect.severity * falloff;
+            match defect.kind {
+                DefectKind::Hot => value += delta,
+                DefectKind::Cold => value -= delta,
+            }
+        }
+
+        value += self.effective_sigma(layer) * noise::gaussian(&[seed, layer as u64, px, py]);
+        value.clamp(0.0, 255.0) as u8
+    }
+
+    /// The sensor-noise standard deviation at `layer`, including
+    /// powder aging.
+    pub fn effective_sigma(&self, layer: u32) -> f64 {
+        self.noise_sigma * (1.0 + self.powder_aging_per_layer * layer as f64)
+    }
+
+    /// Emission of a background (powder) pixel.
+    pub fn background_pixel(&self, seed: u64, layer: u32, px: u64, py: u64) -> u8 {
+        let value = self.background
+            + self.noise_sigma * 0.5 * noise::gaussian(&[seed, layer as u64, px, py]);
+        value.clamp(0.0, 255.0) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{RectMm, SpecimenLayout};
+
+    fn specimen() -> SpecimenLayout {
+        SpecimenLayout::with_default_cylinders(0, RectMm::new(0.0, 0.0, 25.0, 50.0))
+    }
+
+    fn defect(kind: DefectKind) -> DefectSeed {
+        DefectSeed {
+            specimen: 0,
+            x_mm: 12.0,
+            y_mm: 10.0,
+            radius_mm: 1.0,
+            start_layer: 0,
+            layer_span: 10,
+            kind,
+            severity: 1.0,
+        }
+    }
+
+    #[test]
+    fn healthy_pixels_stay_within_normal_range() {
+        let model = ThermalModel::default();
+        let spec = specimen();
+        let thresholds = model.reference_thresholds();
+        for i in 0..500u64 {
+            let x = 2.0 + (i % 20) as f64;
+            let y = 2.0 + (i / 20) as f64 * 2.0;
+            let v = model.specimen_pixel(&spec, &[], 30.0, 1, 5, x, y, i, i) as f64;
+            assert!(
+                v > thresholds.very_cold && v < thresholds.very_warm,
+                "healthy pixel {v} escapes [{}, {}]",
+                thresholds.very_cold,
+                thresholds.very_warm
+            );
+        }
+    }
+
+    #[test]
+    fn hot_defect_center_crosses_very_warm() {
+        let model = ThermalModel::default();
+        let spec = specimen();
+        let d = defect(DefectKind::Hot);
+        let thresholds = model.reference_thresholds();
+        let v = model.specimen_pixel(&spec, &[&d], 0.0, 1, 3, 12.0, 10.0, 96, 80) as f64;
+        assert!(v > thresholds.very_warm, "{v}");
+    }
+
+    #[test]
+    fn cold_defect_center_crosses_very_cold() {
+        let model = ThermalModel::default();
+        let spec = specimen();
+        let d = defect(DefectKind::Cold);
+        let thresholds = model.reference_thresholds();
+        let v = model.specimen_pixel(&spec, &[&d], 0.0, 1, 3, 12.0, 10.0, 96, 80) as f64;
+        assert!(v < thresholds.very_cold, "{v}");
+    }
+
+    #[test]
+    fn defect_influence_decays_with_distance() {
+        let model = ThermalModel {
+            noise_sigma: 0.0,
+            stripe_amplitude: 0.0,
+            ..ThermalModel::default()
+        };
+        let spec = specimen();
+        let d = defect(DefectKind::Hot);
+        let at = |x: f64| model.specimen_pixel(&spec, &[&d], 0.0, 1, 3, x, 10.0, 0, 0) as f64;
+        assert!(at(12.0) > at(13.0));
+        assert!(at(13.0) > at(15.0));
+        assert!((at(20.0) - model.base).abs() < 2.0, "far away ≈ base");
+    }
+
+    #[test]
+    fn defects_of_other_specimens_are_ignored() {
+        let model = ThermalModel {
+            noise_sigma: 0.0,
+            stripe_amplitude: 0.0,
+            ..ThermalModel::default()
+        };
+        let spec = specimen();
+        let mut d = defect(DefectKind::Hot);
+        d.specimen = 5;
+        let v = model.specimen_pixel(&spec, &[&d], 0.0, 1, 3, 12.0, 10.0, 0, 0) as f64;
+        assert!((v - model.base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_is_dark() {
+        let model = ThermalModel::default();
+        for i in 0..100 {
+            let v = model.background_pixel(1, 0, i, i);
+            assert!(v < 30, "{v}");
+        }
+    }
+
+    #[test]
+    fn powder_aging_grows_the_noise() {
+        let fresh = ThermalModel::default();
+        assert_eq!(fresh.effective_sigma(0), fresh.noise_sigma);
+        assert_eq!(fresh.effective_sigma(500), fresh.noise_sigma);
+
+        let aging = ThermalModel {
+            powder_aging_per_layer: 0.002,
+            ..ThermalModel::default()
+        };
+        assert_eq!(aging.effective_sigma(0), aging.noise_sigma);
+        assert!((aging.effective_sigma(500) - aging.noise_sigma * 2.0).abs() < 1e-9);
+
+        // The pixel spread visibly widens on late layers.
+        let spec = specimen();
+        let spread = |layer: u32| -> f64 {
+            let values: Vec<f64> = (0..400u64)
+                .map(|i| {
+                    aging.specimen_pixel(
+                        &spec,
+                        &[],
+                        45.0,
+                        7,
+                        layer,
+                        2.0 + (i % 20) as f64,
+                        2.0 + (i / 20) as f64 * 2.0,
+                        i,
+                        i,
+                    ) as f64
+                })
+                .collect();
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64)
+                .sqrt()
+        };
+        assert!(
+            spread(500) > spread(0) * 1.3,
+            "{} vs {}",
+            spread(500),
+            spread(0)
+        );
+    }
+
+    #[test]
+    fn thresholds_are_ordered() {
+        let t = ThermalModel::default().reference_thresholds();
+        assert!(t.very_cold < t.cold);
+        assert!(t.cold < t.warm);
+        assert!(t.warm < t.very_warm);
+    }
+}

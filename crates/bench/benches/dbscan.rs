@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the clustering substrate: the
+//! grid-accelerated vs naive DBSCAN ablation, and DBSCAN vs the
+//! k-means baseline the paper's use-case replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use strata_cluster::naive::dbscan_naive;
+use strata_cluster::{dbscan, kmeans, DbscanParams, KmeansParams, Point};
+
+/// A defect-like point cloud: dense blobs on a sparse background,
+/// deterministic via an xorshift generator.
+fn defect_cloud(n: usize) -> Vec<Point> {
+    let mut seed = 0x1234_5678_9ABC_DEF0u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed % 100_000) as f64 / 1_000.0
+    };
+    let mut points = Vec::with_capacity(n);
+    // 80% blob members around 10 centers, 20% background noise.
+    let centers: Vec<(f64, f64)> = (0..10).map(|_| (next(), next())).collect();
+    for i in 0..n {
+        if i % 5 == 0 {
+            points.push(Point::new(next(), next(), next() / 50.0));
+        } else {
+            let (cx, cy) = centers[i % centers.len()];
+            points.push(Point::new(
+                cx + (next() - 50.0) / 100.0,
+                cy + (next() - 50.0) / 100.0,
+                next() / 50.0,
+            ));
+        }
+    }
+    points
+}
+
+fn bench_dbscan_grid_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbscan");
+    let params = DbscanParams::new(0.8, 4).unwrap();
+    for n in [1_000usize, 5_000] {
+        let points = defect_cloud(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("grid", n), &points, |b, pts| {
+            b.iter(|| dbscan(pts, &params).len())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &points, |b, pts| {
+            b.iter(|| dbscan_naive(pts, &params).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dbscan_vs_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_baseline");
+    let points = defect_cloud(5_000);
+    group.throughput(Throughput::Elements(points.len() as u64));
+    let db = DbscanParams::new(0.8, 4).unwrap();
+    group.bench_function("dbscan", |b| b.iter(|| dbscan(&points, &db).len()));
+    let km = KmeansParams::new(10).unwrap().max_iterations(20);
+    group.bench_function("kmeans_k10", |b| b.iter(|| kmeans(&points, &km).iterations));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan_grid_vs_naive, bench_dbscan_vs_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion end-to-end pipeline benchmarks: per-layer cost of the
+//! Algorithm-1 pipeline at two cell sizes, and the connector-mode
+//! ablation (pub/sub hop vs direct channels) from DESIGN.md.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use strata::usecase::thermal::{self, ThermalPipelineOptions};
+use strata::{ConnectorMode, Strata, StrataConfig};
+use strata_bench::{bench_machine, BenchScale};
+
+const LAYERS: u32 = 6;
+
+fn run_layers(mode: ConnectorMode, cell_px: u32) -> usize {
+    let machine = bench_machine(7, BenchScale::Reduced);
+    let strata = Strata::new(StrataConfig::default().connector_mode(mode)).unwrap();
+    let (running, reports) = thermal::deploy_pipeline(
+        &strata,
+        machine,
+        ThermalPipelineOptions {
+            cell_px,
+            depth_l: 10,
+            layers: 0..LAYERS,
+            offered_rate: Some(0.0),
+            parallelism: 2,
+            ..ThermalPipelineOptions::default()
+        },
+    )
+    .unwrap();
+    let mut got = 0usize;
+    while reports.recv_timeout(Duration::from_secs(60)).is_ok() {
+        got += 1;
+    }
+    running.join().unwrap();
+    got
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_layers");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(LAYERS as u64));
+    for cell_px in [10u32, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("cell_px", cell_px),
+            &cell_px,
+            |b, &cell| b.iter(|| run_layers(ConnectorMode::PubSub, cell)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_connector_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connector_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(LAYERS as u64));
+    group.bench_function("pubsub", |b| {
+        b.iter(|| run_layers(ConnectorMode::PubSub, 10))
+    });
+    group.bench_function("direct", |b| {
+        b.iter(|| run_layers(ConnectorMode::Direct, 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_connector_overhead);
+criterion_main!(benches);

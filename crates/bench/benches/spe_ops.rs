@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the stream engine's native
+//! operators, plus the operator-chaining ablation called out in
+//! DESIGN.md (thread-per-operator vs fused closures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use strata_spe::prelude::*;
+
+const N: u64 = 100_000;
+
+fn run_linear_query(stages: usize, fused: bool) -> usize {
+    let mut qb = QueryBuilder::new("bench");
+    qb.channel_capacity(1024);
+    let src = qb.source("src", IteratorSource::new(0..N));
+    let out = if fused {
+        // One operator applying all stages in a single closure.
+        let stream = qb.map("fused", &src, move |x: u64| {
+            let mut v = x;
+            for _ in 0..stages {
+                v = v.wrapping_mul(31).wrapping_add(7);
+            }
+            v
+        });
+        qb.collect_sink("out", &stream)
+    } else {
+        // One thread-hopping operator per stage.
+        let mut stream = src;
+        for k in 0..stages {
+            stream = qb.map(format!("stage{k}"), &stream, |x: u64| {
+                x.wrapping_mul(31).wrapping_add(7)
+            });
+        }
+        qb.collect_sink("out", &stream)
+    };
+    qb.build().unwrap().run().join().unwrap();
+    out.take().len()
+}
+
+fn bench_chaining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spe_chaining");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    for stages in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("thread_per_operator", stages),
+            &stages,
+            |b, &s| b.iter(|| assert_eq!(run_linear_query(s, false), N as usize)),
+        );
+        group.bench_with_input(BenchmarkId::new("fused", stages), &stages, |b, &s| {
+            b.iter(|| assert_eq!(run_linear_query(s, true), N as usize))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    #[derive(Debug, Clone)]
+    struct E(u64, u32);
+    impl Timestamped for E {
+        fn timestamp(&self) -> Timestamp {
+            Timestamp::from_millis(self.0)
+        }
+    }
+    let mut group = c.benchmark_group("spe_aggregate");
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(10);
+    group.bench_function("tumbling_count_grouped", |b| {
+        b.iter(|| {
+            let items: Vec<E> = (0..N).map(|i| E(i, (i % 16) as u32)).collect();
+            let mut qb = QueryBuilder::new("agg");
+            qb.channel_capacity(1024);
+            let src = qb.source("src", IteratorSource::with_watermarks(items));
+            let agg = qb.aggregate(
+                "count",
+                &src,
+                WindowSpec::tumbling(1_000).unwrap(),
+                |e: &E| e.1,
+                |_, _, items: &[E]| vec![items.len()],
+            );
+            let out = qb.collect_sink("out", &agg);
+            qb.build().unwrap().run().join().unwrap();
+            out.take().iter().sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    #[derive(Debug, Clone)]
+    struct E(u64, u32);
+    impl Timestamped for E {
+        fn timestamp(&self) -> Timestamp {
+            Timestamp::from_millis(self.0)
+        }
+    }
+    let n = 20_000u64;
+    let mut group = c.benchmark_group("spe_join");
+    group.throughput(Throughput::Elements(n * 2));
+    group.sample_size(10);
+    group.bench_function("same_timestamp_keyed", |b| {
+        b.iter(|| {
+            let left: Vec<E> = (0..n).map(|i| E(i, (i % 64) as u32)).collect();
+            let right = left.clone();
+            let mut qb = QueryBuilder::new("join");
+            qb.channel_capacity(1024);
+            let l = qb.source("l", IteratorSource::with_watermarks(left));
+            let r = qb.source("r", IteratorSource::with_watermarks(right));
+            let joined = qb.join(
+                "join",
+                &l,
+                &r,
+                0,
+                |e: &E| e.1,
+                |e: &E| e.1,
+                |a: &E, b: &E| (a.0 == b.0).then_some(a.0),
+            );
+            let out = qb.collect_sink("out", &joined);
+            qb.build().unwrap().run().join().unwrap();
+            out.take().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaining, bench_aggregate, bench_join);
+criterion_main!(benches);

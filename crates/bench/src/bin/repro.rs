@@ -1,0 +1,144 @@
+//! `repro` — regenerates the figures of the STRATA paper.
+//!
+//! ```sh
+//! cargo run --release -p strata-bench --bin repro -- all
+//! cargo run --release -p strata-bench --bin repro -- fig5 --quick
+//! cargo run --release -p strata-bench --bin repro -- fig7 --scale reduced
+//! ```
+//!
+//! Results are printed as tables and written as JSON (and PGM images
+//! for Figure 4) under `target/repro/`.
+
+use std::path::PathBuf;
+
+use strata_bench::experiments::{fig4, fig5, fig6, fig7, Effort};
+use strata_bench::BenchScale;
+
+fn usage() -> ! {
+    eprintln!("usage: repro <fig4|fig5|fig6|fig7|all> [--quick|--full] [--scale paper|reduced]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = None;
+    let mut effort = Effort::Default;
+    // Reduced is the default: it preserves every result shape while
+    // fitting small hosts; pass `--scale paper` for the full
+    // 2000×2000 px sensor resolution.
+    let mut scale = BenchScale::Reduced;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "fig4" | "fig5" | "fig6" | "fig7" | "all" => which = Some(arg.clone()),
+            "--quick" => effort = Effort::Quick,
+            "--full" => effort = Effort::Full,
+            "--scale" => {
+                scale = match iter.next().map(String::as_str) {
+                    Some("paper") => BenchScale::Paper,
+                    Some("reduced") => BenchScale::Reduced,
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let which = which.unwrap_or_else(|| usage());
+    let out_dir = PathBuf::from("target/repro");
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    println!(
+        "STRATA reproduction — scale: {scale:?}, effort: {effort:?}, host: {} cpus",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    if which == "fig4" || which == "all" {
+        println!("\n── Figure 4: OT image + thermal-energy clustering ──");
+        let artifacts = fig4(scale, &out_dir).expect("fig4 artifacts");
+        println!(
+            "specimen {} @ layer {}: {} cluster(s) from {} events",
+            artifacts.specimen, artifacts.layer, artifacts.clusters, artifacts.events
+        );
+        println!("  OT image:      {}", artifacts.ot_image);
+        println!("  cluster image: {}", artifacts.clusters_image);
+        write_json(&out_dir, "fig4.json", &artifacts);
+    }
+
+    if which == "fig5" || which == "all" {
+        println!("\n── Figure 5: latency vs cell size (QoS 3 s) ──");
+        let rows = fig5(scale, effort);
+        println!(
+            "{:>8} {:>10} {:>12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>5}",
+            "cell", "area mm²", "cells/img", "min ms", "q1 ms", "median", "q3 ms", "max ms", "QoS"
+        );
+        for r in &rows {
+            println!(
+                "{:>5}x{:<2} {:>10.2} {:>12} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>5}",
+                r.cell_px,
+                r.cell_px,
+                r.cell_area_mm2,
+                r.cells_per_image,
+                r.latency.min,
+                r.latency.q1,
+                r.latency.median,
+                r.latency.q3,
+                r.latency.max,
+                if r.qos_met { "ok" } else { "MISS" },
+            );
+        }
+        write_json(&out_dir, "fig5.json", &rows);
+    }
+
+    if which == "fig6" || which == "all" {
+        println!("\n── Figure 6: latency vs layers clustered together (QoS 3 s) ──");
+        let rows = fig6(scale, effort);
+        println!(
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>5}",
+            "L", "depth mm", "min ms", "q1 ms", "median", "q3 ms", "max ms", "QoS"
+        );
+        for r in &rows {
+            println!(
+                "{:>6} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>5}",
+                r.depth_l,
+                r.depth_mm,
+                r.latency.min,
+                r.latency.q1,
+                r.latency.median,
+                r.latency.q3,
+                r.latency.max,
+                if r.qos_met { "ok" } else { "MISS" },
+            );
+        }
+        write_json(&out_dir, "fig6.json", &rows);
+    }
+
+    if which == "fig7" || which == "all" {
+        println!("\n── Figure 7: throughput / latency vs offered OT images/s ──");
+        let points = fig7(scale, effort);
+        println!(
+            "{:>8} {:>12} {:>8} {:>12} {:>12} {:>14}",
+            "cell", "offered/s", "images", "images/s", "kcells/s", "mean lat ms"
+        );
+        for p in &points {
+            println!(
+                "{:>5}x{:<2} {:>12.1} {:>8} {:>12.2} {:>12.1} {:>14.1}",
+                p.cell_px,
+                p.cell_px,
+                p.offered_rate,
+                p.images,
+                p.images_per_s,
+                p.kcells_per_s,
+                p.mean_latency_ms,
+            );
+        }
+        write_json(&out_dir, "fig7.json", &points);
+    }
+
+    println!("\nJSON written under {}", out_dir.display());
+}
+
+fn write_json<T: serde::Serialize>(dir: &std::path::Path, name: &str, value: &T) {
+    let path = dir.join(name);
+    let json = serde_json::to_string_pretty(value).expect("serializable results");
+    std::fs::write(&path, json).expect("write results file");
+}

@@ -1,0 +1,25 @@
+//! `strata-bench` — the experiment harness regenerating every figure
+//! of the STRATA paper's evaluation (§5).
+//!
+//! The paper evaluates one use-case pipeline (Algorithm 1) on a build
+//! of 12 specimens imaged at 2000×2000 px per layer, on a 4-core
+//! server, with a 3 s QoS threshold (the recoat gap):
+//!
+//! * **Figure 4** — an OT image of a specimen and its thermal-energy
+//!   clustering ([`fig4`]);
+//! * **Figure 5** — latency boxplots for cell sizes 40×40 → 2×2 px
+//!   ([`fig5`]);
+//! * **Figure 6** — latency boxplots for `L` ∈ 5 → 80 layers
+//!   ([`fig6`]);
+//! * **Figure 7** — throughput (k cells/s) and average latency versus
+//!   the offered OT-image rate, for 20×20 and 10×10 cells
+//!   ([`fig7`]).
+//!
+//! Run everything with
+//! `cargo run --release -p strata-bench --bin repro -- all`.
+
+pub mod experiments;
+pub mod workload;
+
+pub use experiments::{fig4, fig5, fig6, fig7};
+pub use workload::{bench_machine, BenchScale};

@@ -1,0 +1,101 @@
+//! Workload construction shared by the figure experiments and the
+//! criterion micro-benchmarks.
+
+use std::sync::Arc;
+
+use strata_amsim::{MachineConfig, PbfLbMachine};
+
+/// How big the synthetic build is rendered.
+///
+/// `Paper` is the full 2000×2000 px geometry of the evaluation;
+/// `Reduced` renders at 1000×1000 px (4× fewer pixels) for quick
+/// runs; the *shape* of every result is preserved because all
+/// pipeline parameters are expressed relative to the image scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchScale {
+    /// 2000×2000 px OT images (the paper's sensor resolution).
+    Paper,
+    /// 1000×1000 px OT images for quick runs.
+    Reduced,
+}
+
+impl BenchScale {
+    /// OT image edge length in pixels.
+    pub fn image_px(&self) -> u32 {
+        match self {
+            BenchScale::Paper => 2000,
+            BenchScale::Reduced => 1000,
+        }
+    }
+
+    /// Scales a cell size given in paper pixels (2000-px frame) to
+    /// this scale, keeping the physical cell size in mm identical.
+    pub fn cell_px(&self, paper_cell_px: u32) -> u32 {
+        (paper_cell_px * self.image_px() / 2000).max(1)
+    }
+}
+
+/// The evaluation machine: the paper's 12-specimen build with the
+/// defect-prone scan orientation first (so short experiments see
+/// events immediately) and a defect rate that yields clearly visible
+/// clusters.
+pub fn bench_machine(job: u32, scale: BenchScale) -> Arc<PbfLbMachine> {
+    bench_machine_rated(job, scale, 1.2)
+}
+
+/// [`bench_machine`] with an explicit defect rate — the Figure 6
+/// experiment needs a denser event stream so the cross-layer
+/// clustering cost (the quantity that grows with `L`) is visible over
+/// the fixed per-layer image-scan cost.
+pub fn bench_machine_rated(job: u32, scale: BenchScale, defect_rate: f64) -> Arc<PbfLbMachine> {
+    bench_machine_scheduled(
+        job,
+        scale,
+        defect_rate,
+        strata_amsim::scan::ScanSchedule::new(90.0, 67.0),
+    )
+}
+
+/// [`bench_machine_rated`] with an explicit scan schedule. Figure 6
+/// uses a constant gas-parallel angle so every layer carries the same
+/// event density: with the rotating schedule, deep windows would mix
+/// defect-rich and defect-poor stacks and mask the L effect.
+pub fn bench_machine_scheduled(
+    job: u32,
+    scale: BenchScale,
+    defect_rate: f64,
+    schedule: strata_amsim::scan::ScanSchedule,
+) -> Arc<PbfLbMachine> {
+    Arc::new(
+        PbfLbMachine::new(
+            MachineConfig::paper_build(job)
+                .image_px(scale.image_px())
+                // Real machine timing: ~1 min melt (the paper: live OT
+                // images "come within a period of minutes"), 3 s recoat.
+                .timing(60_000, 3_000)
+                .schedule(schedule)
+                .defect_rate(defect_rate),
+        )
+        .expect("valid paper-build configuration"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_preserve_physical_cell_size() {
+        assert_eq!(BenchScale::Paper.cell_px(40), 40);
+        assert_eq!(BenchScale::Reduced.cell_px(40), 20);
+        assert_eq!(BenchScale::Reduced.cell_px(2), 1, "clamped to 1 px");
+    }
+
+    #[test]
+    fn bench_machine_matches_the_paper_geometry() {
+        let m = bench_machine(0, BenchScale::Reduced);
+        assert_eq!(m.plan().specimens().len(), 12);
+        assert_eq!(m.recoat_ms(), 3_000);
+        assert_eq!(m.layer_count(), 575);
+    }
+}

@@ -1,0 +1,36 @@
+//! Error type for clustering parameter validation.
+
+use std::fmt;
+
+/// A specialized `Result` whose error type is [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced when configuring a clustering algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A parameter is out of its valid range.
+    InvalidParams(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParams(msg) => write!(f, "invalid clustering parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_reason() {
+        assert!(Error::InvalidParams("eps must be positive".into())
+            .to_string()
+            .contains("eps"));
+    }
+}

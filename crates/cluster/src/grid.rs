@@ -1,0 +1,144 @@
+//! A uniform grid index for ε-neighborhood queries.
+//!
+//! With cell edge = ε, all neighbors of a point lie in its own cell
+//! or the 26 surrounding ones, turning the O(n) linear scan per query
+//! into an O(local density) lookup — the standard acceleration for
+//! DBSCAN on spatial data (cf. the grid/partitioning ideas in Lisco
+//! and IP.LSH.DBSCAN cited by the paper).
+
+use std::collections::HashMap;
+
+use crate::point::Point;
+
+/// Integer cell coordinates.
+type Cell = (i64, i64, i64);
+
+/// A uniform grid over a point set, with cell edge equal to the query
+/// radius.
+#[derive(Debug)]
+pub struct GridIndex<'a> {
+    points: &'a [Point],
+    cells: HashMap<Cell, Vec<u32>>,
+    eps: f64,
+    eps_sq: f64,
+}
+
+impl<'a> GridIndex<'a> {
+    /// Builds the index for `points` with query radius `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `eps > 0`; the public constructors in
+    /// [`dbscan()`](crate::dbscan()) validate it.
+    pub fn build(points: &'a [Point], eps: f64) -> Self {
+        debug_assert!(eps > 0.0);
+        let mut cells: HashMap<Cell, Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells
+                .entry(Self::cell_of(p, eps))
+                .or_default()
+                .push(i as u32);
+        }
+        GridIndex {
+            points,
+            cells,
+            eps,
+            eps_sq: eps * eps,
+        }
+    }
+
+    fn cell_of(p: &Point, eps: f64) -> Cell {
+        (
+            (p.x / eps).floor() as i64,
+            (p.y / eps).floor() as i64,
+            (p.z / eps).floor() as i64,
+        )
+    }
+
+    /// Indexes of all points within `eps` of `points[query]`,
+    /// including `query` itself (DBSCAN counts the point toward its
+    /// own neighborhood).
+    pub fn neighbors_of(&self, query: usize) -> Vec<u32> {
+        let p = &self.points[query];
+        let (cx, cy, cz) = Self::cell_of(p, self.eps);
+        let mut out = Vec::new();
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy, cz + dz)) {
+                        for &j in bucket {
+                            if self.points[j as usize].distance_sq(p) <= self.eps_sq {
+                                out.push(j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of occupied grid cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_all_and_only_in_range_neighbors() {
+        let points = vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(0.9, 0.0, 0.0),  // in range of 0 (d=0.9)
+            Point::new(1.5, 0.0, 0.0),  // out of range of 0, in range of 1
+            Point::new(10.0, 0.0, 0.0), // isolated
+        ];
+        let grid = GridIndex::build(&points, 1.0);
+        let mut n0 = grid.neighbors_of(0);
+        n0.sort_unstable();
+        assert_eq!(n0, vec![0, 1]);
+        let mut n1 = grid.neighbors_of(1);
+        n1.sort_unstable();
+        assert_eq!(n1, vec![0, 1, 2]);
+        assert_eq!(grid.neighbors_of(3), vec![3]);
+    }
+
+    #[test]
+    fn negative_coordinates_are_handled() {
+        let points = vec![Point::new(-0.1, -0.1, 0.0), Point::new(0.1, 0.1, 0.0)];
+        let grid = GridIndex::build(&points, 1.0);
+        assert_eq!(grid.neighbors_of(0).len(), 2, "straddles cell boundary");
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        // Deterministic LCG so the test needs no rng dependency here.
+        let mut seed = 0x2545F491_4F6CDD1Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64 / 100.0
+        };
+        let points: Vec<Point> = (0..300)
+            .map(|_| Point::new(next(), next(), next()))
+            .collect();
+        let eps = 0.8;
+        let grid = GridIndex::build(&points, eps);
+        for i in 0..points.len() {
+            let mut expected: Vec<u32> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.distance_sq(&points[i]) <= eps * eps)
+                .map(|(j, _)| j as u32)
+                .collect();
+            expected.sort_unstable();
+            let mut got = grid.neighbors_of(i);
+            got.sort_unstable();
+            assert_eq!(got, expected, "point {i}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! k-means with k-means++ seeding: the baseline the paper's use-case
+//! motivates DBSCAN against (prior pore-classification work used
+//! k-means; see Snell et al. 2020, cited as reference 29 in the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{Error, Result};
+use crate::point::Point;
+
+/// k-means parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmeansParams {
+    k: usize,
+    max_iterations: usize,
+    tolerance: f64,
+    seed: u64,
+}
+
+impl KmeansParams {
+    /// Creates validated parameters for `k` clusters.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParams`] if `k == 0`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidParams("k must be ≥ 1".into()));
+        }
+        Ok(KmeansParams {
+            k,
+            max_iterations: 100,
+            tolerance: 1e-6,
+            seed: 0xC0FFEE,
+        })
+    }
+
+    /// Caps Lloyd iterations (default 100).
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n.max(1);
+        self
+    }
+
+    /// Sets the convergence tolerance on centroid movement
+    /// (default 1e-6).
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol.max(0.0);
+        self
+    }
+
+    /// Seeds the k-means++ initialization for reproducible runs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// The output of [`kmeans`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KmeansResult {
+    /// Final cluster centroids (≤ k of them; fewer when there are
+    /// fewer points than k).
+    pub centroids: Vec<Point>,
+    /// Per-point centroid index, same order as the input.
+    pub assignments: Vec<u32>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Lloyd iterations actually performed.
+    pub iterations: usize,
+}
+
+/// Runs k-means++ seeding followed by Lloyd iterations.
+///
+/// Returns an empty result for an empty input. When `k` exceeds the
+/// number of points, every point becomes its own centroid.
+pub fn kmeans(points: &[Point], params: &KmeansParams) -> KmeansResult {
+    if points.is_empty() {
+        return KmeansResult {
+            centroids: Vec::new(),
+            assignments: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let k = params.k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // k-means++ seeding: first centroid uniform, then proportional to
+    // squared distance from the nearest chosen centroid.
+    let mut centroids: Vec<Point> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())]);
+    let mut dist_sq: Vec<f64> = points
+        .iter()
+        .map(|p| p.distance_sq(&centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist_sq.iter().sum();
+        let chosen = if total <= f64::EPSILON {
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = 0;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        let c = points[chosen];
+        centroids.push(c);
+        for (d, p) in dist_sq.iter_mut().zip(points) {
+            *d = d.min(p.distance_sq(&c));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0u32; points.len()];
+    let mut iterations = 0;
+    for _ in 0..params.max_iterations {
+        iterations += 1;
+        for (a, p) in assignments.iter_mut().zip(points) {
+            let mut best = (f64::INFINITY, 0u32);
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = p.distance_sq(c);
+                if d < best.0 {
+                    best = (d, ci as u32);
+                }
+            }
+            *a = best.1;
+        }
+        let mut sums = vec![(0.0f64, 0.0f64, 0.0f64, 0usize); centroids.len()];
+        for (a, p) in assignments.iter().zip(points) {
+            let s = &mut sums[*a as usize];
+            s.0 += p.x;
+            s.1 += p.y;
+            s.2 += p.z;
+            s.3 += 1;
+        }
+        let mut movement = 0.0f64;
+        for (c, (sx, sy, sz, n)) in centroids.iter_mut().zip(sums) {
+            if n == 0 {
+                continue; // Empty cluster keeps its centroid.
+            }
+            let updated = Point::new(sx / n as f64, sy / n as f64, sz / n as f64);
+            movement = movement.max(c.distance(&updated));
+            *c = updated;
+        }
+        if movement <= params.tolerance {
+            break;
+        }
+    }
+
+    let inertia = assignments
+        .iter()
+        .zip(points)
+        .map(|(a, p)| p.distance_sq(&centroids[*a as usize]))
+        .sum();
+    KmeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Point> {
+        let mut points = Vec::new();
+        for i in 0..40 {
+            let a = i as f64 * 0.7;
+            points.push(Point::new(a.cos(), a.sin(), 0.0));
+            points.push(Point::new(20.0 + a.cos(), 20.0 + a.sin(), 0.0));
+        }
+        points
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        assert!(KmeansParams::new(0).is_err());
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let points = two_blobs();
+        let result = kmeans(&points, &KmeansParams::new(2).unwrap());
+        // Points alternate blob A / blob B: assignments must too.
+        let a = result.assignments[0];
+        let b = result.assignments[1];
+        assert_ne!(a, b);
+        for pair in result.assignments.chunks(2) {
+            assert_eq!(pair[0], a);
+            assert_eq!(pair[1], b);
+        }
+        assert!(result.inertia < points.len() as f64, "tight clusters");
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let points = two_blobs();
+        let p = KmeansParams::new(2).unwrap().seed(7);
+        assert_eq!(kmeans(&points, &p), kmeans(&points, &p));
+    }
+
+    #[test]
+    fn handles_fewer_points_than_k() {
+        let points = vec![Point::new(0.0, 0.0, 0.0), Point::new(1.0, 0.0, 0.0)];
+        let result = kmeans(&points, &KmeansParams::new(5).unwrap());
+        assert_eq!(result.centroids.len(), 2);
+        assert!(result.inertia < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        let result = kmeans(&[], &KmeansParams::new(3).unwrap());
+        assert!(result.centroids.is_empty());
+        assert!(result.assignments.is_empty());
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let points = two_blobs();
+        let i1 = kmeans(&points, &KmeansParams::new(1).unwrap()).inertia;
+        let i2 = kmeans(&points, &KmeansParams::new(2).unwrap()).inertia;
+        assert!(i2 < i1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Points in build-chamber space.
+
+use std::fmt;
+
+/// A point in 3-D build space: `x`/`y` within the layer plane and `z`
+/// along the build direction (e.g. layer index × layer thickness).
+/// Units are up to the caller, but all of `x`, `y`, `z` and the
+/// clustering ε must share them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Position along the layer plane's first axis.
+    pub x: f64,
+    /// Position along the layer plane's second axis.
+    pub y: f64,
+    /// Position along the build direction.
+    pub z: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point { x, y, z }
+    }
+
+    /// Creates an in-plane point (`z = 0`), convenient for
+    /// single-layer clustering.
+    pub const fn planar(x: f64, y: f64) -> Self {
+        Point { x, y, z: 0.0 }
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root
+    /// on the clustering hot path).
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(3.0, 4.0, 0.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn planar_points_have_zero_z() {
+        assert_eq!(Point::planar(1.0, 2.0), Point::new(1.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, -2.0, 3.0);
+        let b = Point::new(-4.0, 5.0, -6.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the clustering invariants.
+//!
+//! DBSCAN's *noise set* and its partition of *core points* are
+//! deterministic (independent of visit order); only border-point
+//! assignment may legitimately differ between implementations. The
+//! properties below compare exactly the deterministic parts between
+//! the grid-accelerated implementation and the textbook oracle.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use strata_cluster::naive::dbscan_naive;
+use strata_cluster::{dbscan, DbscanParams, Label, Point};
+
+fn cloud_strategy() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (0.0f64..50.0, 0.0f64..50.0, 0.0f64..2.0).prop_map(|(x, y, z)| Point::new(x, y, z)),
+        0..250,
+    )
+}
+
+/// Indexes of core points, brute force.
+fn core_points(points: &[Point], params: &DbscanParams) -> Vec<usize> {
+    let eps_sq = params.eps() * params.eps();
+    (0..points.len())
+        .filter(|&i| {
+            points
+                .iter()
+                .filter(|q| q.distance_sq(&points[i]) <= eps_sq)
+                .count()
+                >= params.min_pts()
+        })
+        .collect()
+}
+
+/// The cluster partition restricted to `subset`, canonicalized to
+/// first-seen ids.
+fn canonical_partition(labels: &[Label], subset: &[usize]) -> Vec<i64> {
+    let mut mapping: HashMap<u32, i64> = HashMap::new();
+    subset
+        .iter()
+        .map(|&i| match labels[i] {
+            Label::Noise => -1,
+            Label::Cluster(id) => {
+                let next = mapping.len() as i64;
+                *mapping.entry(id).or_insert(next)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Grid DBSCAN and the O(n²) oracle agree on the noise set and on
+    /// the core-point partition for arbitrary clouds.
+    #[test]
+    fn grid_matches_oracle(points in cloud_strategy(), eps in 0.2f64..3.0, min_pts in 1usize..6) {
+        let params = DbscanParams::new(eps, min_pts).unwrap();
+        let fast = dbscan(&points, &params);
+        let slow = dbscan_naive(&points, &params);
+        prop_assert_eq!(fast.len(), points.len());
+
+        // Noise sets are identical.
+        for i in 0..points.len() {
+            prop_assert_eq!(fast[i].is_noise(), slow[i].is_noise(), "point {}", i);
+        }
+        // Core-point partitions are identical up to renaming.
+        let cores = core_points(&points, &params);
+        prop_assert_eq!(
+            canonical_partition(&fast, &cores),
+            canonical_partition(&slow, &cores)
+        );
+    }
+
+    /// Core points are never labeled noise; with min_pts = 1 nothing
+    /// is noise.
+    #[test]
+    fn core_points_are_clustered(points in cloud_strategy(), eps in 0.2f64..3.0) {
+        let params = DbscanParams::new(eps, 3).unwrap();
+        let labels = dbscan(&points, &params);
+        for &i in &core_points(&points, &params) {
+            prop_assert!(!labels[i].is_noise(), "core point {} marked noise", i);
+        }
+        let all_core = DbscanParams::new(eps, 1).unwrap();
+        prop_assert!(dbscan(&points, &all_core).iter().all(|l| !l.is_noise()));
+    }
+
+    /// Two core points within ε of each other always share a cluster.
+    #[test]
+    fn density_connectivity_is_transitive(points in cloud_strategy(), eps in 0.5f64..3.0) {
+        let params = DbscanParams::new(eps, 4).unwrap();
+        let labels = dbscan(&points, &params);
+        let cores = core_points(&points, &params);
+        let eps_sq = eps * eps;
+        for (a_pos, &a) in cores.iter().enumerate() {
+            for &b in &cores[a_pos + 1..] {
+                if points[a].distance_sq(&points[b]) <= eps_sq {
+                    prop_assert_eq!(
+                        labels[a].cluster(),
+                        labels[b].cluster(),
+                        "ε-close core points {} and {} split",
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rigid translation of the whole cloud never changes the
+    /// clustering structure.
+    #[test]
+    fn translation_invariance(
+        points in cloud_strategy(),
+        dx in -100.0f64..100.0,
+        dy in -100.0f64..100.0,
+    ) {
+        let params = DbscanParams::new(1.0, 3).unwrap();
+        let base = dbscan(&points, &params);
+        let moved: Vec<Point> = points
+            .iter()
+            .map(|p| Point::new(p.x + dx, p.y + dy, p.z))
+            .collect();
+        let shifted = dbscan(&moved, &params);
+        // Same noise set; same partition over all points (border
+        // assignment is order-dependent but the visit order is the
+        // input order, which translation preserves).
+        let all: Vec<usize> = (0..points.len()).collect();
+        prop_assert_eq!(
+            canonical_partition(&base, &all),
+            canonical_partition(&shifted, &all)
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Framework configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use strata_pubsub::RetentionPolicy;
+
+/// How STRATA's modules exchange data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectorMode {
+    /// The paper's architecture: modules run as separate queries
+    /// bridged by pub/sub topics (the *Raw Data Connector* and
+    /// *Event Connector*), which decouples their lifecycles and lets
+    /// independent pipelines share the data.
+    PubSub,
+    /// All modules fused into one query with direct channels —
+    /// the ablation baseline quantifying the connector overhead.
+    Direct,
+}
+
+/// Configuration of a [`Strata`](crate::Strata) instance, builder
+/// style.
+///
+/// ```
+/// use strata::{ConnectorMode, StrataConfig};
+/// use std::time::Duration;
+/// let config = StrataConfig::default()
+///     .qos(Duration::from_secs(3))
+///     .connector_mode(ConnectorMode::PubSub)
+///     .channel_capacity(64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrataConfig {
+    qos: Duration,
+    connector_mode: ConnectorMode,
+    channel_capacity: usize,
+    raw_retention: RetentionPolicy,
+    event_retention: RetentionPolicy,
+    kv_dir: Option<PathBuf>,
+    poll_timeout: Duration,
+}
+
+impl Default for StrataConfig {
+    fn default() -> Self {
+        StrataConfig {
+            // The paper's QoS threshold: the ~3 s recoat gap between
+            // layers, within which a layer's result must be out.
+            qos: Duration::from_secs(3),
+            connector_mode: ConnectorMode::PubSub,
+            channel_capacity: 64,
+            // Raw topics carry whole OT images: bound them by bytes.
+            raw_retention: RetentionPolicy::default().with_max_bytes(512 * 1024 * 1024),
+            event_retention: RetentionPolicy::default().with_max_records(1_000_000),
+            kv_dir: None,
+            poll_timeout: Duration::from_millis(20),
+        }
+    }
+}
+
+impl StrataConfig {
+    /// Sets the latency QoS threshold reported per result (default:
+    /// the 3 s recoat gap of the paper's machine).
+    pub fn qos(mut self, qos: Duration) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Chooses how modules exchange data (default
+    /// [`ConnectorMode::PubSub`]).
+    pub fn connector_mode(mut self, mode: ConnectorMode) -> Self {
+        self.connector_mode = mode;
+        self
+    }
+
+    /// Sets the SPE channel capacity used by all pipeline queries.
+    pub fn channel_capacity(mut self, capacity: usize) -> Self {
+        self.channel_capacity = capacity.max(1);
+        self
+    }
+
+    /// Bounds the raw-data connector topics.
+    pub fn raw_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.raw_retention = retention;
+        self
+    }
+
+    /// Bounds the event connector topics.
+    pub fn event_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.event_retention = retention;
+        self
+    }
+
+    /// Persists the key-value store under `dir` (default: in-memory).
+    pub fn kv_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.kv_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets how long connector subscribers block per poll (default
+    /// 20 ms; only affects shutdown promptness, not latency).
+    pub fn poll_timeout(mut self, timeout: Duration) -> Self {
+        self.poll_timeout = timeout;
+        self
+    }
+
+    /// The configured QoS threshold.
+    pub fn qos_threshold(&self) -> Duration {
+        self.qos
+    }
+
+    /// The configured connector mode.
+    pub fn connector_mode_value(&self) -> ConnectorMode {
+        self.connector_mode
+    }
+
+    pub(crate) fn channel_capacity_value(&self) -> usize {
+        self.channel_capacity
+    }
+
+    pub(crate) fn raw_retention_value(&self) -> RetentionPolicy {
+        self.raw_retention
+    }
+
+    pub(crate) fn event_retention_value(&self) -> RetentionPolicy {
+        self.event_retention
+    }
+
+    pub(crate) fn kv_dir_value(&self) -> Option<&PathBuf> {
+        self.kv_dir.as_ref()
+    }
+
+    pub(crate) fn poll_timeout_value(&self) -> Duration {
+        self.poll_timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = StrataConfig::default();
+        assert_eq!(c.qos_threshold(), Duration::from_secs(3));
+        assert_eq!(c.connector_mode_value(), ConnectorMode::PubSub);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = StrataConfig::default()
+            .qos(Duration::from_millis(500))
+            .connector_mode(ConnectorMode::Direct)
+            .channel_capacity(0);
+        assert_eq!(c.qos_threshold(), Duration::from_millis(500));
+        assert_eq!(c.connector_mode_value(), ConnectorMode::Direct);
+        assert_eq!(c.channel_capacity_value(), 1, "clamped");
+    }
+}

@@ -1,0 +1,188 @@
+//! A textual build-status dashboard for the expert.
+//!
+//! The paper's Figure 1B puts "live info" in front of the expert so
+//! they can decide on the running process. [`Dashboard`] is the
+//! minimal such surface: it folds the report stream into per-specimen
+//! status rows — layers seen, events, clusters, the largest cluster,
+//! latency and QoS health — and renders them as a table for a
+//! terminal or a log file. It consumes the same channel as the
+//! decision policies in [`expert`](crate::expert), so it composes
+//! with them.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::report::ExpertReport;
+
+/// Per-specimen accumulated status.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpecimenStatus {
+    /// Last layer a report was seen for.
+    pub last_layer: u32,
+    /// Window evaluations (summary reports) seen.
+    pub windows: u64,
+    /// Total events across all evaluated windows.
+    pub events: i64,
+    /// Cluster reports seen.
+    pub cluster_reports: u64,
+    /// Largest cluster size ever reported.
+    pub peak_cluster_size: i64,
+    /// Deepest cluster (mm of build height) ever reported.
+    pub peak_cluster_depth_mm: f64,
+    /// Latency of the most recent report.
+    pub last_latency: Duration,
+    /// Reports that violated the QoS threshold.
+    pub qos_misses: u64,
+}
+
+/// Folds [`ExpertReport`]s into a per-specimen status board.
+#[derive(Debug, Clone, Default)]
+pub struct Dashboard {
+    specimens: BTreeMap<u32, SpecimenStatus>,
+    reports: u64,
+}
+
+impl Dashboard {
+    /// Creates an empty dashboard.
+    pub fn new() -> Self {
+        Dashboard::default()
+    }
+
+    /// Ingests one report.
+    pub fn observe(&mut self, report: &ExpertReport) {
+        self.reports += 1;
+        let meta = report.tuple.metadata();
+        let status = self
+            .specimens
+            .entry(meta.specimen.unwrap_or(0))
+            .or_default();
+        status.last_layer = status.last_layer.max(meta.layer);
+        status.last_latency = report.latency;
+        if !report.qos_met {
+            status.qos_misses += 1;
+        }
+        match report.tuple.payload().str("report") {
+            Some("summary") => {
+                status.windows += 1;
+                status.events += report.tuple.payload().int("event_count").unwrap_or(0);
+            }
+            Some("cluster") => {
+                status.cluster_reports += 1;
+                status.peak_cluster_size = status
+                    .peak_cluster_size
+                    .max(report.tuple.payload().int("size").unwrap_or(0));
+                status.peak_cluster_depth_mm = status
+                    .peak_cluster_depth_mm
+                    .max(report.tuple.payload().float("depth_mm").unwrap_or(0.0));
+            }
+            _ => {}
+        }
+    }
+
+    /// Total reports ingested.
+    pub fn report_count(&self) -> u64 {
+        self.reports
+    }
+
+    /// The status of one specimen, if any report mentioned it.
+    pub fn specimen(&self, id: u32) -> Option<&SpecimenStatus> {
+        self.specimens.get(&id)
+    }
+
+    /// All specimen statuses, ordered by id.
+    pub fn specimens(&self) -> impl Iterator<Item = (u32, &SpecimenStatus)> {
+        self.specimens.iter().map(|(id, s)| (*id, s))
+    }
+
+    /// Renders the board as a fixed-width table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "spec | layer | windows |  events | clusters | peak size | depth mm | last lat | qos miss\n",
+        );
+        out.push_str(
+            "-----+-------+---------+---------+----------+-----------+----------+----------+---------\n",
+        );
+        for (id, s) in &self.specimens {
+            out.push_str(&format!(
+                "{id:>4} | {:>5} | {:>7} | {:>7} | {:>8} | {:>9} | {:>8.2} | {:>7.1?} | {:>8}\n",
+                s.last_layer,
+                s.windows,
+                s.events,
+                s.cluster_reports,
+                s.peak_cluster_size,
+                s.peak_cluster_depth_mm,
+                s.last_latency,
+                s.qos_misses,
+            ));
+        }
+        if self.specimens.is_empty() {
+            out.push_str("(no reports yet)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::AmTuple;
+    use strata_spe::Timestamp;
+
+    fn report(kind: &str, specimen: u32, layer: u32, size: i64, qos_met: bool) -> ExpertReport {
+        let mut t =
+            AmTuple::new(Timestamp::from_millis(layer as u64), 1, layer).with_specimen(specimen);
+        t.payload_mut().set_str("report", kind);
+        if kind == "cluster" {
+            t.payload_mut()
+                .set_int("size", size)
+                .set_float("depth_mm", size as f64 / 100.0);
+        } else {
+            t.payload_mut().set_int("event_count", size);
+        }
+        ExpertReport {
+            tuple: t,
+            latency: Duration::from_millis(7),
+            qos_met,
+        }
+    }
+
+    #[test]
+    fn accumulates_per_specimen() {
+        let mut d = Dashboard::new();
+        d.observe(&report("summary", 3, 0, 12, true));
+        d.observe(&report("cluster", 3, 1, 40, true));
+        d.observe(&report("cluster", 3, 2, 25, false));
+        d.observe(&report("summary", 5, 2, 7, true));
+        assert_eq!(d.report_count(), 4);
+        let s3 = d.specimen(3).unwrap();
+        assert_eq!(s3.windows, 1);
+        assert_eq!(s3.events, 12);
+        assert_eq!(s3.cluster_reports, 2);
+        assert_eq!(s3.peak_cluster_size, 40);
+        assert_eq!(s3.qos_misses, 1);
+        assert_eq!(s3.last_layer, 2);
+        assert!(d.specimen(5).is_some());
+        assert!(d.specimen(9).is_none());
+        assert_eq!(d.specimens().count(), 2);
+    }
+
+    #[test]
+    fn renders_a_table() {
+        let mut d = Dashboard::new();
+        assert!(d.render().contains("no reports yet"));
+        d.observe(&report("cluster", 0, 4, 99, true));
+        let table = d.render();
+        assert!(table.contains("spec | layer"));
+        assert!(table.contains("99"), "{table}");
+        assert!(!table.contains("no reports yet"));
+    }
+
+    #[test]
+    fn peak_depth_tracks_maximum() {
+        let mut d = Dashboard::new();
+        d.observe(&report("cluster", 1, 0, 50, true)); // depth 0.5
+        d.observe(&report("cluster", 1, 1, 20, true)); // depth 0.2
+        assert!((d.specimen(1).unwrap().peak_cluster_depth_mm - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,353 @@
+//! The expert's side of the loop: turning pipeline reports into
+//! process decisions.
+//!
+//! The paper's introduction frames the goal as *timely decisions*: "a
+//! printing process showing signs of defects is re-configured or
+//! terminated as soon as possible", with the expert (or "the
+//! scripts/tools (s)he uses") deciding whether to **continue,
+//! re-adjust, or terminate** an ongoing process — "eventually
+//! enabling feedback loop control" (§1, §3).
+//!
+//! This module provides that script layer: a declarative
+//! [`DecisionPolicy`] evaluated over the stream of
+//! [`ExpertReport`]s, producing [`Decision`]s an automation hook can
+//! act on. It is intentionally independent of the pipeline machinery:
+//! policies consume the same channel a human dashboard would.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::report::ExpertReport;
+
+/// What the expert decides after seeing a report (§3, Figure 1B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Everything nominal: keep printing.
+    Continue,
+    /// Quality is degrading: adjust process parameters (the hook
+    /// receives which rule fired).
+    Adjust,
+    /// Defects exceed tolerances: abort the job to save material,
+    /// energy and machine time.
+    Terminate,
+}
+
+/// One observed rule violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: String,
+    /// The layer whose report triggered it.
+    pub layer: u32,
+    /// The specimen involved, when applicable.
+    pub specimen: Option<u32>,
+    /// What the rule decided.
+    pub decision: Decision,
+}
+
+/// A declarative decision policy over the use-case's cluster
+/// reports, built in builder style:
+///
+/// ```
+/// use strata::expert::DecisionPolicy;
+/// use std::time::Duration;
+/// let policy = DecisionPolicy::new()
+///     .adjust_on_cluster_size(50)
+///     .terminate_on_cluster_size(400)
+///     .terminate_on_cluster_depth_mm(1.0)
+///     .terminate_on_qos_misses(3);
+/// # let _ = policy;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecisionPolicy {
+    adjust_cluster_size: Option<i64>,
+    terminate_cluster_size: Option<i64>,
+    terminate_cluster_depth_mm: Option<f64>,
+    terminate_qos_misses: Option<u32>,
+    adjust_latency: Option<Duration>,
+}
+
+impl DecisionPolicy {
+    /// A policy with no rules (always [`Decision::Continue`]).
+    pub fn new() -> Self {
+        DecisionPolicy::default()
+    }
+
+    /// Request a parameter adjustment when any cluster reaches
+    /// `cells` members.
+    pub fn adjust_on_cluster_size(mut self, cells: i64) -> Self {
+        self.adjust_cluster_size = Some(cells);
+        self
+    }
+
+    /// Terminate when any cluster reaches `cells` members.
+    pub fn terminate_on_cluster_size(mut self, cells: i64) -> Self {
+        self.terminate_cluster_size = Some(cells);
+        self
+    }
+
+    /// Terminate when a defect cluster spans at least `mm` of build
+    /// height (it survived that much re-melting: a structural flaw).
+    pub fn terminate_on_cluster_depth_mm(mut self, mm: f64) -> Self {
+        self.terminate_cluster_depth_mm = Some(mm);
+        self
+    }
+
+    /// Terminate after `misses` reports violated the QoS deadline —
+    /// the monitoring itself can no longer keep up with the machine.
+    pub fn terminate_on_qos_misses(mut self, misses: u32) -> Self {
+        self.terminate_qos_misses = Some(misses);
+        self
+    }
+
+    /// Request adjustment when a report's latency exceeds `limit`
+    /// (early warning before hard QoS misses accumulate).
+    pub fn adjust_on_latency(mut self, limit: Duration) -> Self {
+        self.adjust_latency = Some(limit);
+        self
+    }
+
+    /// Binds the policy to mutable evaluation state.
+    pub fn into_monitor(self) -> DecisionMonitor {
+        DecisionMonitor {
+            policy: self,
+            qos_misses: 0,
+            violations: Vec::new(),
+            peak_cluster_size: HashMap::new(),
+        }
+    }
+}
+
+/// Evaluates a [`DecisionPolicy`] over a report stream, keeping the
+/// running state (QoS miss count, per-cluster peaks, violations).
+#[derive(Debug)]
+pub struct DecisionMonitor {
+    policy: DecisionPolicy,
+    qos_misses: u32,
+    violations: Vec<Violation>,
+    /// (specimen, cluster id) → largest size seen.
+    peak_cluster_size: HashMap<(u32, i64), i64>,
+}
+
+impl DecisionMonitor {
+    /// Feeds one report; returns the decision it warrants. Decisions
+    /// never downgrade within one call: `Terminate` wins over
+    /// `Adjust` wins over `Continue`.
+    pub fn observe(&mut self, report: &ExpertReport) -> Decision {
+        let mut decision = Decision::Continue;
+        let raise = |d: Decision,
+                     rule: String,
+                     layer: u32,
+                     specimen: Option<u32>,
+                     violations: &mut Vec<Violation>| {
+            violations.push(Violation {
+                rule,
+                layer,
+                specimen,
+                decision: d,
+            });
+        };
+        let meta = report.tuple.metadata();
+
+        if !report.qos_met {
+            self.qos_misses += 1;
+            if let Some(limit) = self.policy.terminate_qos_misses {
+                if self.qos_misses >= limit {
+                    raise(
+                        Decision::Terminate,
+                        format!("qos_misses≥{limit}"),
+                        meta.layer,
+                        meta.specimen,
+                        &mut self.violations,
+                    );
+                    decision = Decision::Terminate;
+                }
+            }
+        }
+        if let Some(limit) = self.policy.adjust_latency {
+            if report.latency > limit && decision == Decision::Continue {
+                raise(
+                    Decision::Adjust,
+                    format!("latency>{limit:?}"),
+                    meta.layer,
+                    meta.specimen,
+                    &mut self.violations,
+                );
+                decision = Decision::Adjust;
+            }
+        }
+
+        if report.tuple.payload().str("report") == Some("cluster") {
+            let size = report.tuple.payload().int("size").unwrap_or(0);
+            let cluster_id = report.tuple.payload().int("cluster_id").unwrap_or(-1);
+            let specimen = meta.specimen.unwrap_or(0);
+            let peak = self
+                .peak_cluster_size
+                .entry((specimen, cluster_id))
+                .or_insert(0);
+            *peak = (*peak).max(size);
+
+            if let Some(limit) = self.policy.terminate_cluster_size {
+                if size >= limit {
+                    raise(
+                        Decision::Terminate,
+                        format!("cluster_size≥{limit}"),
+                        meta.layer,
+                        meta.specimen,
+                        &mut self.violations,
+                    );
+                    decision = Decision::Terminate;
+                }
+            }
+            if let Some(limit) = self.policy.terminate_cluster_depth_mm {
+                let depth = report.tuple.payload().float("depth_mm").unwrap_or(0.0);
+                if depth >= limit {
+                    raise(
+                        Decision::Terminate,
+                        format!("cluster_depth≥{limit}mm"),
+                        meta.layer,
+                        meta.specimen,
+                        &mut self.violations,
+                    );
+                    decision = Decision::Terminate;
+                }
+            }
+            if decision == Decision::Continue {
+                if let Some(limit) = self.policy.adjust_cluster_size {
+                    if size >= limit {
+                        raise(
+                            Decision::Adjust,
+                            format!("cluster_size≥{limit}"),
+                            meta.layer,
+                            meta.specimen,
+                            &mut self.violations,
+                        );
+                        decision = Decision::Adjust;
+                    }
+                }
+            }
+        }
+        decision
+    }
+
+    /// QoS misses observed so far.
+    pub fn qos_misses(&self) -> u32 {
+        self.qos_misses
+    }
+
+    /// All rule violations observed so far, in order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Largest size ever seen for `(specimen, cluster)`.
+    pub fn peak_cluster_size(&self, specimen: u32, cluster_id: i64) -> Option<i64> {
+        self.peak_cluster_size.get(&(specimen, cluster_id)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::AmTuple;
+    use strata_spe::Timestamp;
+
+    fn cluster_report(layer: u32, specimen: u32, size: i64, depth_mm: f64) -> ExpertReport {
+        let mut t =
+            AmTuple::new(Timestamp::from_millis(layer as u64), 1, layer).with_specimen(specimen);
+        t.payload_mut()
+            .set_str("report", "cluster")
+            .set_int("cluster_id", 0)
+            .set_int("size", size)
+            .set_float("depth_mm", depth_mm);
+        ExpertReport {
+            tuple: t,
+            latency: Duration::from_millis(10),
+            qos_met: true,
+        }
+    }
+
+    #[test]
+    fn empty_policy_always_continues() {
+        let mut m = DecisionPolicy::new().into_monitor();
+        assert_eq!(
+            m.observe(&cluster_report(0, 0, 10_000, 50.0)),
+            Decision::Continue
+        );
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn size_thresholds_escalate() {
+        let mut m = DecisionPolicy::new()
+            .adjust_on_cluster_size(50)
+            .terminate_on_cluster_size(200)
+            .into_monitor();
+        assert_eq!(
+            m.observe(&cluster_report(1, 0, 10, 0.1)),
+            Decision::Continue
+        );
+        assert_eq!(m.observe(&cluster_report(2, 0, 60, 0.1)), Decision::Adjust);
+        assert_eq!(
+            m.observe(&cluster_report(3, 0, 250, 0.1)),
+            Decision::Terminate
+        );
+        assert_eq!(m.violations().len(), 2);
+        assert_eq!(m.peak_cluster_size(0, 0), Some(250));
+    }
+
+    #[test]
+    fn depth_rule_terminates() {
+        let mut m = DecisionPolicy::new()
+            .terminate_on_cluster_depth_mm(1.0)
+            .into_monitor();
+        assert_eq!(
+            m.observe(&cluster_report(5, 2, 10, 0.4)),
+            Decision::Continue
+        );
+        assert_eq!(
+            m.observe(&cluster_report(6, 2, 10, 1.2)),
+            Decision::Terminate
+        );
+        assert_eq!(m.violations()[0].specimen, Some(2));
+    }
+
+    #[test]
+    fn qos_misses_accumulate_to_termination() {
+        let mut m = DecisionPolicy::new()
+            .terminate_on_qos_misses(2)
+            .into_monitor();
+        let mut miss = cluster_report(1, 0, 1, 0.0);
+        miss.qos_met = false;
+        assert_eq!(m.observe(&miss), Decision::Continue);
+        assert_eq!(m.qos_misses(), 1);
+        assert_eq!(m.observe(&miss), Decision::Terminate);
+    }
+
+    #[test]
+    fn latency_rule_requests_adjustment() {
+        let mut m = DecisionPolicy::new()
+            .adjust_on_latency(Duration::from_millis(100))
+            .into_monitor();
+        let mut slow = cluster_report(1, 0, 1, 0.0);
+        slow.latency = Duration::from_millis(500);
+        assert_eq!(m.observe(&slow), Decision::Adjust);
+    }
+
+    #[test]
+    fn summaries_do_not_trip_cluster_rules() {
+        let mut m = DecisionPolicy::new()
+            .terminate_on_cluster_size(1)
+            .into_monitor();
+        let mut t = AmTuple::new(Timestamp::MIN, 1, 0);
+        t.payload_mut()
+            .set_str("report", "summary")
+            .set_int("size", 999);
+        let report = ExpertReport {
+            tuple: t,
+            latency: Duration::from_millis(1),
+            qos_met: true,
+        };
+        assert_eq!(m.observe(&report), Decision::Continue);
+    }
+}

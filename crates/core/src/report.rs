@@ -1,0 +1,136 @@
+//! What the expert receives: result tuples with latency accounting.
+
+use std::time::Duration;
+
+use crate::tuple::AmTuple;
+
+/// One result delivered to the expert by
+/// [`PipelineBuilder::deliver`](crate::pipeline::PipelineBuilder::deliver).
+#[derive(Debug, Clone)]
+pub struct ExpertReport {
+    /// The result tuple.
+    pub tuple: AmTuple,
+    /// Time from "all contributing data available to the system" to
+    /// this delivery — the paper's latency metric (§3).
+    pub latency: Duration,
+    /// Whether `latency` met the configured QoS threshold (the ~3 s
+    /// recoat gap by default).
+    pub qos_met: bool,
+}
+
+/// Five-number summary of a latency sample, matching the boxplots of
+/// Figures 5 and 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: Duration,
+    /// First quartile.
+    pub q1: Duration,
+    /// Median.
+    pub median: Duration,
+    /// Third quartile.
+    pub q3: Duration,
+    /// Maximum.
+    pub max: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes a non-empty latency sample.
+    ///
+    /// Returns `None` for an empty sample.
+    pub fn from_samples(samples: &[Duration]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let quantile = |q: f64| -> Duration {
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let frac = pos - lo as f64;
+                let a = sorted[lo].as_secs_f64();
+                let b = sorted[hi].as_secs_f64();
+                Duration::from_secs_f64(a + (b - a) * frac)
+            }
+        };
+        let total: Duration = sorted.iter().sum();
+        Some(LatencySummary {
+            count: sorted.len(),
+            min: sorted[0],
+            q1: quantile(0.25),
+            median: quantile(0.5),
+            q3: quantile(0.75),
+            max: *sorted.last().expect("non-empty"),
+            mean: total / sorted.len() as u32,
+        })
+    }
+
+    /// Renders as one boxplot row: `min/q1/median/q3/max (mean)` in
+    /// milliseconds.
+    pub fn to_row(&self) -> String {
+        format!(
+            "min={:.1}ms q1={:.1}ms median={:.1}ms q3={:.1}ms max={:.1}ms mean={:.1}ms n={}",
+            self.min.as_secs_f64() * 1e3,
+            self.q1.as_secs_f64() * 1e3,
+            self.median.as_secs_f64() * 1e3,
+            self.q3.as_secs_f64() * 1e3,
+            self.max.as_secs_f64() * 1e3,
+            self.mean.as_secs_f64() * 1e3,
+            self.count,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(LatencySummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let s = LatencySummary::from_samples(&[ms(10), ms(20), ms(30), ms(40), ms(50)]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, ms(10));
+        assert_eq!(s.q1, ms(20));
+        assert_eq!(s.median, ms(30));
+        assert_eq!(s.q3, ms(40));
+        assert_eq!(s.max, ms(50));
+        assert_eq!(s.mean, ms(30));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = LatencySummary::from_samples(&[ms(0), ms(100)]).unwrap();
+        assert_eq!(s.median, ms(50));
+        assert_eq!(s.q1, ms(25));
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = LatencySummary::from_samples(&[ms(3), ms(1), ms(2)]).unwrap();
+        let b = LatencySummary::from_samples(&[ms(1), ms(2), ms(3)]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_rendering_mentions_the_median() {
+        let s = LatencySummary::from_samples(&[ms(10)]).unwrap();
+        assert!(s.to_row().contains("median=10.0ms"));
+    }
+}

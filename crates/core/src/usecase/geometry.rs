@@ -1,0 +1,281 @@
+//! A second monitoring use-case, extending the portfolio along the
+//! paper's future-work axis ("the shape of the object being printed,
+//! or the type of monitored defect"): **melted-footprint geometry
+//! monitoring** with recoater-streak detection.
+//!
+//! Two event detectors over the fused OT + printing-parameters
+//! stream:
+//!
+//! * [`footprint_monitor`] — per specimen, the fraction of the
+//!   footprint that actually melted (pixels above a "melted"
+//!   threshold). An under-melted footprint means lack of powder or
+//!   energy somewhere in the specimen; an event is raised when the
+//!   fraction drops below a tolerance.
+//! * [`streak_detector`] — recoater short-feed streaks run along the
+//!   recoating direction and darken a whole vertical band of the
+//!   plate. The detector profiles per-column mean emission across all
+//!   specimen footprints of the full image and raises one event per
+//!   contiguous band of abnormally dark columns.
+//!
+//! Both compile to `detectEvent` (FlatMap) over STRATA's native
+//! operators, exactly like the thermal use-case, demonstrating that
+//! new defect types are *pipeline definitions*, not framework
+//! changes.
+
+use crate::tuple::AmTuple;
+
+/// Parameters of the geometry monitors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometryOptions {
+    /// Pixels above this gray level count as melted (between powder
+    /// background and nominal melt emission).
+    pub melted_threshold: u8,
+    /// Raise a footprint event when the melted fraction of a
+    /// specimen drops below this.
+    pub min_melted_fraction: f64,
+    /// A column is streak-suspect when its mean emission falls below
+    /// this multiple of the overall footprint mean.
+    pub streak_column_factor: f64,
+    /// Minimum streak width, in columns, to be reported.
+    pub min_streak_columns: u32,
+}
+
+impl Default for GeometryOptions {
+    fn default() -> Self {
+        GeometryOptions {
+            melted_threshold: 60,
+            min_melted_fraction: 0.97,
+            streak_column_factor: 0.75,
+            min_streak_columns: 2,
+        }
+    }
+}
+
+/// `detectEvent` function: per-specimen melted-footprint check.
+/// Expects tuples shaped like the output of the thermal use-case's
+/// `isolate_specimen` (a specimen image plus origin metadata).
+pub fn footprint_monitor(
+    options: GeometryOptions,
+) -> impl FnMut(&AmTuple) -> Option<Vec<AmTuple>> + Clone {
+    move |tuple: &AmTuple| {
+        let image = tuple.payload().image("image")?;
+        let total = image.pixels().len().max(1);
+        let melted = image
+            .pixels()
+            .iter()
+            .filter(|&&p| p >= options.melted_threshold)
+            .count();
+        let fraction = melted as f64 / total as f64;
+        if fraction >= options.min_melted_fraction {
+            return None;
+        }
+        let mut event = tuple.derive();
+        event
+            .payload_mut()
+            .set_str("class", "under_melted_footprint")
+            .set_float("melted_fraction", fraction)
+            .set_float("expected_fraction", options.min_melted_fraction);
+        Some(vec![event])
+    }
+}
+
+/// One detected streak band, in image columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreakBand {
+    /// First affected column (full-image pixel coordinates).
+    pub start_col: u32,
+    /// Number of affected columns.
+    pub width_cols: u32,
+}
+
+/// Analyzes a full OT image for dark vertical bands across the
+/// specimen footprints. Exposed separately so it can be unit-tested
+/// without a pipeline.
+pub fn find_streak_bands(
+    image: &strata_amsim::OtImage,
+    rects: &[(u32, u32, u32, u32, u32)],
+    options: &GeometryOptions,
+) -> Vec<StreakBand> {
+    let width = image.width() as usize;
+    let mut column_sum = vec![0u64; width];
+    let mut column_count = vec![0u64; width];
+    for &(_, x, y, w, h) in rects {
+        for yy in y..(y + h).min(image.height()) {
+            for xx in x..(x + w).min(image.width()) {
+                column_sum[xx as usize] += image.get(xx, yy) as u64;
+                column_count[xx as usize] += 1;
+            }
+        }
+    }
+    let covered: Vec<(usize, f64)> = column_sum
+        .iter()
+        .zip(&column_count)
+        .enumerate()
+        .filter(|(_, (_, &count))| count > 0)
+        .map(|(i, (&sum, &count))| (i, sum as f64 / count as f64))
+        .collect();
+    if covered.is_empty() {
+        return Vec::new();
+    }
+    let overall = covered.iter().map(|(_, m)| m).sum::<f64>() / covered.len() as f64;
+    let cutoff = overall * options.streak_column_factor;
+
+    let mut bands = Vec::new();
+    let mut current: Option<(u32, u32)> = None; // (start, width)
+    let mut last_col: Option<usize> = None;
+    for (col, mean) in covered {
+        let dark = mean < cutoff;
+        let contiguous = last_col.is_some_and(|l| col == l + 1);
+        match (&mut current, dark) {
+            (Some((_, width)), true) if contiguous => *width += 1,
+            (_, true) => {
+                if let Some((start, width)) = current.take() {
+                    if width >= options.min_streak_columns {
+                        bands.push(StreakBand {
+                            start_col: start,
+                            width_cols: width,
+                        });
+                    }
+                }
+                current = Some((col as u32, 1));
+            }
+            (Some((start, width)), false) => {
+                if *width >= options.min_streak_columns {
+                    bands.push(StreakBand {
+                        start_col: *start,
+                        width_cols: *width,
+                    });
+                }
+                current = None;
+            }
+            (None, false) => {}
+        }
+        last_col = Some(col);
+    }
+    if let Some((start, width)) = current {
+        if width >= options.min_streak_columns {
+            bands.push(StreakBand {
+                start_col: start,
+                width_cols: width,
+            });
+        }
+    }
+    bands
+}
+
+/// `detectEvent` function: recoater-streak detection over the fused
+/// full-image stream (image + `specimen_px` layout). Emits one event
+/// per detected band with its plate coordinates.
+pub fn streak_detector(
+    plate_mm: f64,
+    options: GeometryOptions,
+) -> impl FnMut(&AmTuple) -> Option<Vec<AmTuple>> + Clone {
+    move |tuple: &AmTuple| {
+        let image = tuple.payload().image("image")?;
+        let rects = tuple.payload().rects("specimen_px")?;
+        let bands = find_streak_bands(image, rects, &options);
+        if bands.is_empty() {
+            return None;
+        }
+        let mm_per_px = plate_mm / image.width().max(1) as f64;
+        Some(
+            bands
+                .into_iter()
+                .map(|band| {
+                    let mut event = tuple.derive();
+                    event
+                        .payload_mut()
+                        .set_str("class", "recoater_streak")
+                        .set_float("x_mm", band.start_col as f64 * mm_per_px)
+                        .set_float("width_mm", band.width_cols as f64 * mm_per_px);
+                    event
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use strata_amsim::OtImage;
+    use strata_spe::Timestamp;
+
+    fn specimen_tuple(image: OtImage) -> AmTuple {
+        let mut t = AmTuple::new(Timestamp::from_millis(1), 1, 0).with_specimen(0);
+        t.payload_mut().set_image("image", Arc::new(image));
+        t
+    }
+
+    #[test]
+    fn healthy_footprint_raises_nothing() {
+        let image = OtImage::from_fn(50, 100, |_, _| 140);
+        let mut f = footprint_monitor(GeometryOptions::default());
+        assert!(f(&specimen_tuple(image)).is_none());
+    }
+
+    #[test]
+    fn under_melted_footprint_raises_an_event() {
+        // 10 % of the footprint stayed powder-dark.
+        let image = OtImage::from_fn(50, 100, |x, _| if x < 5 { 10 } else { 140 });
+        let mut f = footprint_monitor(GeometryOptions::default());
+        let events = f(&specimen_tuple(image)).expect("event raised");
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].payload().str("class"),
+            Some("under_melted_footprint")
+        );
+        let fraction = events[0].payload().float("melted_fraction").unwrap();
+        assert!((fraction - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streak_bands_are_located() {
+        // Two specimens side by side; a dark band crosses the second.
+        let image = OtImage::from_fn(100, 40, |x, _| if (60..66).contains(&x) { 40 } else { 140 });
+        let rects = vec![(0u32, 0u32, 0u32, 40u32, 40u32), (1, 50, 0, 40, 40)];
+        let bands = find_streak_bands(&image, &rects, &GeometryOptions::default());
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].start_col, 60);
+        assert_eq!(bands[0].width_cols, 6);
+    }
+
+    #[test]
+    fn clean_images_have_no_bands() {
+        let image = OtImage::from_fn(100, 40, |_, _| 140);
+        let rects = vec![(0u32, 0u32, 0u32, 100u32, 40u32)];
+        assert!(find_streak_bands(&image, &rects, &GeometryOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn narrow_dips_are_ignored() {
+        let image = OtImage::from_fn(100, 40, |x, _| if x == 30 { 40 } else { 140 });
+        let rects = vec![(0u32, 0u32, 0u32, 100u32, 40u32)];
+        let options = GeometryOptions {
+            min_streak_columns: 2,
+            ..GeometryOptions::default()
+        };
+        assert!(find_streak_bands(&image, &rects, &options).is_empty());
+    }
+
+    #[test]
+    fn streak_detector_emits_plate_coordinates() {
+        let image = OtImage::from_fn(
+            200,
+            200,
+            |x, _| if (100..110).contains(&x) { 40 } else { 140 },
+        );
+        let mut t = AmTuple::new(Timestamp::from_millis(1), 1, 0);
+        t.payload_mut()
+            .set_image("image", Arc::new(image))
+            .set_rects("specimen_px", Arc::new(vec![(0, 0, 0, 200, 200)]));
+        let mut f = streak_detector(250.0, GeometryOptions::default());
+        let events = f(&t).expect("streak found");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].payload().str("class"), Some("recoater_streak"));
+        // 100 px of 200 over a 250 mm plate → 125 mm.
+        assert!((events[0].payload().float("x_mm").unwrap() - 125.0).abs() < 2.0);
+        assert!((events[0].payload().float("width_mm").unwrap() - 12.5).abs() < 2.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Ready-made pipeline building blocks for PBF-LB monitoring
+//! use-cases.
+//!
+//! [`thermal`] implements the paper's real-world use-case (§5,
+//! Algorithm 1): detecting specimen portions melted with too-low or
+//! too-high thermal energy from OT images, and clustering them within
+//! and across layers with DBSCAN.
+
+pub mod geometry;
+pub mod thermal;

@@ -1,0 +1,65 @@
+//! Atomic multi-key write batches.
+
+/// A group of writes applied atomically by
+/// [`Db::write`](crate::Db::write): either every operation becomes
+/// visible or (on an I/O error) none do.
+///
+/// ```
+/// use strata_kv::{Db, DbOptions, WriteBatch};
+/// let db = Db::open_in_memory(DbOptions::default())?;
+/// let mut batch = WriteBatch::new();
+/// batch.put(b"threshold/low", b"1200");
+/// batch.put(b"threshold/high", b"3800");
+/// batch.delete(b"threshold/stale");
+/// db.write(batch)?;
+/// assert!(db.get(b"threshold/low")?.is_some());
+/// # Ok::<(), strata_kv::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    pub(crate) ops: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Queues a put.
+    pub fn put(&mut self, key: impl AsRef<[u8]>, value: impl AsRef<[u8]>) -> &mut Self {
+        self.ops
+            .push((key.as_ref().to_vec(), Some(value.as_ref().to_vec())));
+        self
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, key: impl AsRef<[u8]>) -> &mut Self {
+        self.ops.push((key.as_ref().to_vec(), None));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_operations_in_order() {
+        let mut batch = WriteBatch::new();
+        assert!(batch.is_empty());
+        batch.put("a", "1").delete("b").put("c", "3");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.ops[1], (b"b".to_vec(), None));
+    }
+}

@@ -1,0 +1,148 @@
+//! K-way merging of sorted entry sources with version precedence.
+
+use std::iter::Peekable;
+
+/// An entry as produced by the memtable or an SSTable: key plus
+/// either a live value or a tombstone.
+pub type Entry = (Vec<u8>, Option<Vec<u8>>);
+
+/// Merges several key-ordered entry iterators, yielding each key once
+/// with the value from the **lowest-indexed** source that contains it
+/// (sources are ordered newest-first, so index 0 wins).
+///
+/// Tombstones are yielded like values — callers that want only live
+/// data filter them; compaction needs to see them.
+pub struct MergeIterator<I: Iterator<Item = Entry>> {
+    sources: Vec<Peekable<I>>,
+}
+
+impl<I: Iterator<Item = Entry>> std::fmt::Debug for MergeIterator<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergeIterator")
+            .field("sources", &self.sources.len())
+            .finish()
+    }
+}
+
+impl<I: Iterator<Item = Entry>> MergeIterator<I> {
+    /// Creates a merge over `sources`, ordered newest-first.
+    pub fn new(sources: Vec<I>) -> Self {
+        MergeIterator {
+            sources: sources.into_iter().map(Iterator::peekable).collect(),
+        }
+    }
+}
+
+impl<I: Iterator<Item = Entry>> Iterator for MergeIterator<I> {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        // Find the smallest key among the sources' heads; ties go to
+        // the newest (lowest-indexed) source.
+        let mut winner: Option<(usize, &[u8])> = None;
+        for (i, source) in self.sources.iter_mut().enumerate() {
+            if let Some((key, _)) = source.peek() {
+                let better = match winner {
+                    None => true,
+                    Some((_, best)) => key.as_slice() < best,
+                };
+                if better {
+                    winner = Some((i, key.as_slice()));
+                }
+            }
+        }
+        let (winner_idx, _) = winner?;
+        // Temporarily detach the winning key to release the borrow.
+        let (key, value) = self.sources[winner_idx].next().expect("peeked entry");
+        // Skip shadowed versions of the same key in older sources.
+        for source in self.sources.iter_mut().skip(winner_idx + 1) {
+            while source
+                .peek()
+                .is_some_and(|(other, _)| other.as_slice() == key.as_slice())
+            {
+                source.next();
+            }
+        }
+        // Also drop same-key duplicates in *newer* sources: cannot
+        // happen (each source has unique keys and newer sources were
+        // checked first), but guard in debug builds.
+        debug_assert!(self.sources[..winner_idx].iter_mut().all(|s| s
+            .peek()
+            .is_none_or(|(other, _)| other.as_slice() != key.as_slice())));
+        Some((key, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(spec: &[(&str, Option<&str>)]) -> Vec<Entry> {
+        spec.iter()
+            .map(|(k, v)| (k.as_bytes().to_vec(), v.map(|v| v.as_bytes().to_vec())))
+            .collect()
+    }
+
+    fn merge(sources: Vec<Vec<Entry>>) -> Vec<Entry> {
+        MergeIterator::new(sources.into_iter().map(Vec::into_iter).collect()).collect()
+    }
+
+    #[test]
+    fn merges_disjoint_sources_in_order() {
+        let got = merge(vec![
+            entries(&[("b", Some("2"))]),
+            entries(&[("a", Some("1")), ("c", Some("3"))]),
+        ]);
+        assert_eq!(
+            got,
+            entries(&[("a", Some("1")), ("b", Some("2")), ("c", Some("3"))])
+        );
+    }
+
+    #[test]
+    fn newest_source_wins_ties() {
+        let got = merge(vec![
+            entries(&[("k", Some("new"))]),
+            entries(&[("k", Some("old"))]),
+        ]);
+        assert_eq!(got, entries(&[("k", Some("new"))]));
+    }
+
+    #[test]
+    fn tombstones_shadow_older_values() {
+        let got = merge(vec![
+            entries(&[("k", None)]),
+            entries(&[("k", Some("old")), ("z", Some("live"))]),
+        ]);
+        assert_eq!(got, entries(&[("k", None), ("z", Some("live"))]));
+    }
+
+    #[test]
+    fn three_way_precedence() {
+        let got = merge(vec![
+            entries(&[("b", Some("newest-b"))]),
+            entries(&[("a", Some("mid-a")), ("b", Some("mid-b"))]),
+            entries(&[
+                ("a", Some("old-a")),
+                ("b", Some("old-b")),
+                ("c", Some("old-c")),
+            ]),
+        ]);
+        assert_eq!(
+            got,
+            entries(&[
+                ("a", Some("mid-a")),
+                ("b", Some("newest-b")),
+                ("c", Some("old-c"))
+            ])
+        );
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        assert!(merge(vec![]).is_empty());
+        assert!(merge(vec![vec![], vec![]]).is_empty());
+        let got = merge(vec![vec![], entries(&[("a", Some("1"))])]);
+        assert_eq!(got.len(), 1);
+    }
+}

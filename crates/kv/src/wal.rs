@@ -1,0 +1,333 @@
+//! The write-ahead log: crash durability for the memtable.
+//!
+//! Every mutation is appended (and flushed) to the WAL before it is
+//! applied to the memtable. On open, the WAL is replayed to rebuild
+//! the memtable's state. When a memtable is flushed into an SSTable,
+//! its WAL is deleted and a fresh one started.
+//!
+//! Frame format (little-endian):
+//!
+//! ```text
+//! tag u8 (1 = put, 0 = delete) · key_len u32 · key
+//!                              · [value_len u32 · value]   (puts only)
+//!                              · crc32 u32 over all previous frame bytes
+//! ```
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::{Error, Result};
+
+const TAG_DELETE: u8 = 0;
+const TAG_PUT: u8 = 1;
+
+/// Computes the IEEE CRC-32 checksum of `data` (same polynomial as
+/// `strata-pubsub`'s wire format; duplicated here to keep substrate
+/// crates independent).
+fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// One recovered WAL operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Set `key` to `value`.
+    Put {
+        /// The key written.
+        key: Vec<u8>,
+        /// The value written.
+        value: Vec<u8>,
+    },
+    /// Delete `key`.
+    Delete {
+        /// The key deleted.
+        key: Vec<u8>,
+    },
+}
+
+/// An append-only write-ahead log file.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: fs::File,
+    frame: Vec<u8>,
+}
+
+impl Wal {
+    /// Creates (or appends to) the WAL at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Wal {
+            path,
+            file,
+            frame: Vec::new(),
+        })
+    }
+
+    /// Appends a put and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn log_put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.frame.clear();
+        self.frame.push(TAG_PUT);
+        self.frame
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.frame.extend_from_slice(key);
+        self.frame
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.frame.extend_from_slice(value);
+        self.finish_frame()
+    }
+
+    /// Appends a deletion and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn log_delete(&mut self, key: &[u8]) -> Result<()> {
+        self.frame.clear();
+        self.frame.push(TAG_DELETE);
+        self.frame
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.frame.extend_from_slice(key);
+        self.finish_frame()
+    }
+
+    fn finish_frame(&mut self) -> Result<()> {
+        let crc = crc32(&self.frame);
+        self.frame.extend_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&self.frame)?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Deletes the WAL file (after its memtable was flushed into an
+    /// SSTable).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn remove(self) -> Result<()> {
+        fs::remove_file(&self.path)?;
+        Ok(())
+    }
+
+    /// Replays the WAL at `path`, returning its operations in append
+    /// order. A torn final frame (crash mid-write) is tolerated and
+    /// truncated away; corruption *before* the tail is an error.
+    ///
+    /// Returns an empty vector when the file does not exist.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] for mid-log corruption; I/O failures.
+    pub fn replay(path: &Path) -> Result<Vec<WalOp>> {
+        let data = match fs::read(path) {
+            Ok(data) => data,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(err) => return Err(err.into()),
+        };
+        let mut ops = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            match Self::decode_op(&data[pos..]) {
+                Ok((op, used)) => {
+                    ops.push(op);
+                    pos += used;
+                }
+                Err(_) if Self::is_torn_tail(&data[pos..]) => break,
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(ops)
+    }
+
+    fn decode_op(data: &[u8]) -> Result<(WalOp, usize)> {
+        let corrupt = |msg: &str| Error::Corrupt(format!("wal: {msg}"));
+        if data.len() < 5 {
+            return Err(corrupt("truncated header"));
+        }
+        let tag = data[0];
+        let key_len = u32::from_le_bytes(data[1..5].try_into().expect("len 4")) as usize;
+        let (body_len, value_range) = match tag {
+            TAG_DELETE => (5 + key_len, None),
+            TAG_PUT => {
+                if data.len() < 5 + key_len + 4 {
+                    return Err(corrupt("truncated put header"));
+                }
+                let value_len =
+                    u32::from_le_bytes(data[5 + key_len..9 + key_len].try_into().expect("len 4"))
+                        as usize;
+                (
+                    9 + key_len + value_len,
+                    Some(9 + key_len..9 + key_len + value_len),
+                )
+            }
+            other => return Err(corrupt(&format!("unknown tag {other}"))),
+        };
+        if data.len() < body_len + 4 {
+            return Err(corrupt("truncated frame"));
+        }
+        let stored_crc =
+            u32::from_le_bytes(data[body_len..body_len + 4].try_into().expect("len 4"));
+        if stored_crc != crc32(&data[..body_len]) {
+            return Err(corrupt("crc mismatch"));
+        }
+        let key = data[5..5 + key_len].to_vec();
+        let op = match value_range {
+            Some(range) => WalOp::Put {
+                key,
+                value: data[range].to_vec(),
+            },
+            None => WalOp::Delete { key },
+        };
+        Ok((op, body_len + 4))
+    }
+
+    /// A frame that fails to decode only because the data ran out is
+    /// a torn tail from a crash mid-append — safe to discard.
+    fn is_torn_tail(data: &[u8]) -> bool {
+        if data.len() < 5 {
+            return true;
+        }
+        let tag = data[0];
+        if tag != TAG_PUT && tag != TAG_DELETE {
+            return false;
+        }
+        let key_len = u32::from_le_bytes(data[1..5].try_into().expect("len 4")) as usize;
+        let needed = match tag {
+            TAG_DELETE => 5 + key_len + 4,
+            _ => {
+                if data.len() < 5 + key_len + 4 {
+                    return true;
+                }
+                let value_len =
+                    u32::from_le_bytes(data[5 + key_len..9 + key_len].try_into().expect("len 4"))
+                        as usize;
+                9 + key_len + value_len + 4
+            }
+        };
+        data.len() < needed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("strata-kv-wal-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn replay_restores_operations_in_order() {
+        let path = temp_path("order");
+        let _ = fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.log_put(b"a", b"1").unwrap();
+            wal.log_delete(b"a").unwrap();
+            wal.log_put(b"b", b"2").unwrap();
+        }
+        let ops = Wal::replay(&path).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                WalOp::Put {
+                    key: b"a".to_vec(),
+                    value: b"1".to_vec()
+                },
+                WalOp::Delete { key: b"a".to_vec() },
+                WalOp::Put {
+                    key: b"b".to_vec(),
+                    value: b"2".to_vec()
+                },
+            ]
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_wal_is_empty() {
+        assert!(Wal::replay(Path::new("/nonexistent/wal"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let path = temp_path("torn");
+        let _ = fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.log_put(b"ok", b"yes").unwrap();
+            wal.log_put(b"torn", b"partial").unwrap();
+        }
+        // Chop bytes off the final frame to simulate a crash.
+        let mut data = fs::read(&path).unwrap();
+        data.truncate(data.len() - 5);
+        fs::write(&path, data).unwrap();
+        let ops = Wal::replay(&path).unwrap();
+        assert_eq!(ops.len(), 1);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let path = temp_path("corrupt");
+        let _ = fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.log_put(b"first", b"1").unwrap();
+            wal.log_put(b"second", b"2").unwrap();
+        }
+        let mut data = fs::read(&path).unwrap();
+        data[7] ^= 0xFF; // inside the first frame
+        fs::write(&path, data).unwrap();
+        assert!(matches!(Wal::replay(&path), Err(Error::Corrupt(_))));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn remove_deletes_the_file() {
+        let path = temp_path("remove");
+        let wal = Wal::open(&path).unwrap();
+        assert!(path.exists());
+        wal.remove().unwrap();
+        assert!(!path.exists());
+    }
+}

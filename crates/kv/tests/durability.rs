@@ -1,0 +1,116 @@
+//! Durability-focused integration tests: WAL on/off semantics, large
+//! values, and byte-wise key ordering.
+
+use strata_kv::{Db, DbOptions};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("strata-kv-int-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn without_wal_flushed_data_survives_but_memtable_does_not() {
+    let dir = temp_dir("nowal");
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = DbOptions::default().wal(false);
+    {
+        let db = Db::open(&dir, options.clone()).unwrap();
+        db.put("durable", "flushed").unwrap();
+        db.flush().unwrap();
+        db.put("volatile", "memtable-only").unwrap();
+        // Dropped without flush: `volatile` was never persisted
+        // anywhere (that is the documented no-WAL trade-off).
+    }
+    let db = Db::open(&dir, options).unwrap();
+    assert_eq!(db.get("durable").unwrap(), Some(b"flushed".to_vec()));
+    assert_eq!(db.get("volatile").unwrap(), None);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn with_wal_everything_survives() {
+    let dir = temp_dir("wal");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = Db::open(&dir, DbOptions::default()).unwrap();
+        db.put("a", "1").unwrap();
+        db.flush().unwrap();
+        db.put("b", "2").unwrap(); // only in WAL + memtable
+    }
+    let db = Db::open(&dir, DbOptions::default()).unwrap();
+    assert_eq!(db.get("a").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(db.get("b").unwrap(), Some(b"2".to_vec()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn megabyte_values_round_trip_through_sstables() {
+    let dir = temp_dir("large");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Db::open(&dir, DbOptions::default().block_bytes(4096)).unwrap();
+    let big: Vec<u8> = (0..2_000_000u32).map(|i| (i % 251) as u8).collect();
+    db.put("ot-image/job-1/layer-0", &big).unwrap();
+    db.flush().unwrap();
+    assert_eq!(db.get("ot-image/job-1/layer-0").unwrap(), Some(big.clone()));
+    drop(db);
+    let db = Db::open(&dir, DbOptions::default()).unwrap();
+    assert_eq!(db.get("ot-image/job-1/layer-0").unwrap(), Some(big));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn range_order_is_bytewise_across_sources() {
+    let dir = temp_dir("order");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Db::open(&dir, DbOptions::default()).unwrap();
+    // Mixed-length keys exercise byte-wise (not length-first) order.
+    let keys: Vec<&[u8]> = vec![b"a", b"a\x00", b"a\xff", b"ab", b"b", b"\xff"];
+    for (i, k) in keys.iter().enumerate() {
+        db.put(k, [i as u8]).unwrap();
+        if i % 2 == 0 {
+            db.flush().unwrap(); // spread keys across tables
+        }
+    }
+    let got: Vec<Vec<u8>> = db
+        .range(Vec::new(), Vec::new())
+        .unwrap()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    let mut expected: Vec<Vec<u8>> = keys.iter().map(|k| k.to_vec()).collect();
+    expected.sort();
+    assert_eq!(got, expected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn overwrite_heavy_workload_compacts_away_garbage() {
+    let dir = temp_dir("compactgc");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Db::open(
+        &dir,
+        DbOptions::default()
+            .memtable_bytes(2 * 1024)
+            .compaction_trigger(3),
+    )
+    .unwrap();
+    // Write the same 10 keys 500 times each.
+    for round in 0..500u32 {
+        for k in 0..10 {
+            db.put(format!("key-{k}"), format!("round-{round}"))
+                .unwrap();
+        }
+    }
+    db.flush().unwrap();
+    db.compact().unwrap();
+    assert_eq!(db.table_count(), 1);
+    for k in 0..10 {
+        assert_eq!(
+            db.get(format!("key-{k}")).unwrap(),
+            Some(b"round-499".to_vec())
+        );
+    }
+    // The compacted table holds exactly the 10 live keys.
+    let all = db.range(Vec::new(), Vec::new()).unwrap();
+    assert_eq!(all.len(), 10);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

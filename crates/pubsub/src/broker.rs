@@ -1,0 +1,396 @@
+//! The broker: topic registry, consumer-group coordination, and the
+//! wakeup machinery connecting producers to blocked consumers.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::consumer::Consumer;
+use crate::error::{Error, Result};
+use crate::log::LogKind;
+use crate::producer::Producer;
+use crate::retention::RetentionPolicy;
+use crate::topic::Topic;
+
+/// Configuration for a new topic.
+///
+/// ```
+/// use strata_pubsub::{LogKind, RetentionPolicy, TopicConfig};
+/// let cfg = TopicConfig::new(4)
+///     .with_log(LogKind::Memory)
+///     .with_retention(RetentionPolicy::default().with_max_records(1_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopicConfig {
+    partitions: u32,
+    log: LogKind,
+    retention: RetentionPolicy,
+}
+
+impl TopicConfig {
+    /// A topic with `partitions` memory-backed partitions and
+    /// unbounded retention.
+    pub fn new(partitions: u32) -> Self {
+        TopicConfig {
+            partitions,
+            log: LogKind::Memory,
+            retention: RetentionPolicy::unbounded(),
+        }
+    }
+
+    /// Chooses the storage backing the partitions.
+    pub fn with_log(mut self, log: LogKind) -> Self {
+        self.log = log;
+        self
+    }
+
+    /// Bounds the partitions with a retention policy.
+    pub fn with_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.retention = retention;
+        self
+    }
+}
+
+/// Coordination state of one consumer group.
+#[derive(Debug, Default)]
+pub(crate) struct GroupState {
+    /// Member ids, ordered — the assignment function depends on it.
+    pub(crate) members: BTreeSet<u64>,
+    /// Bumped on every membership change; consumers holding an older
+    /// generation refresh their assignment before polling.
+    pub(crate) generation: u64,
+    /// Committed offsets: (topic, partition) → next offset to read.
+    pub(crate) offsets: BTreeMap<(String, u32), u64>,
+    /// Union of the members' topic subscriptions.
+    pub(crate) subscribed: BTreeSet<String>,
+}
+
+pub(crate) struct BrokerInner {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    pub(crate) groups: Mutex<HashMap<String, GroupState>>,
+    /// Bumped on every append; consumers block on it while idle.
+    appends: Mutex<u64>,
+    data_ready: Condvar,
+    next_member: AtomicU64,
+}
+
+impl BrokerInner {
+    pub(crate) fn topic(&self, name: &str) -> Result<Arc<Topic>> {
+        self.topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownTopic(name.to_string()))
+    }
+
+    pub(crate) fn notify_append(&self) {
+        *self.appends.lock() += 1;
+        self.data_ready.notify_all();
+    }
+
+    /// Blocks until new data may be available or `timeout` elapses.
+    pub(crate) fn wait_for_data(&self, seen: &mut u64, timeout: Duration) {
+        let mut guard = self.appends.lock();
+        if *guard != *seen {
+            *seen = *guard;
+            return;
+        }
+        self.data_ready.wait_for(&mut guard, timeout);
+        *seen = *guard;
+    }
+
+    pub(crate) fn register_member(&self, group: &str, topics: &[String]) -> u64 {
+        let id = self.next_member.fetch_add(1, Ordering::Relaxed);
+        let mut groups = self.groups.lock();
+        let state = groups.entry(group.to_string()).or_default();
+        state.members.insert(id);
+        state.subscribed.extend(topics.iter().cloned());
+        state.generation += 1;
+        id
+    }
+
+    pub(crate) fn deregister_member(&self, group: &str, id: u64) {
+        let mut groups = self.groups.lock();
+        if let Some(state) = groups.get_mut(group) {
+            if state.members.remove(&id) {
+                state.generation += 1;
+            }
+        }
+        self.data_ready.notify_all();
+    }
+
+    /// The partitions assigned to `member` at the group's current
+    /// generation, plus that generation: partitions of all subscribed
+    /// topics, sorted, dealt round-robin over the sorted member list.
+    pub(crate) fn assignment_for(
+        &self,
+        group: &str,
+        member: u64,
+    ) -> Result<(u64, Vec<(String, u32)>)> {
+        let groups = self.groups.lock();
+        let state = groups
+            .get(group)
+            .ok_or_else(|| Error::InvalidConfig(format!("unknown group `{group}`")))?;
+        let members: Vec<u64> = state.members.iter().copied().collect();
+        let my_index = members
+            .iter()
+            .position(|&m| m == member)
+            .ok_or(Error::RebalanceInProgress)?;
+        let mut all: Vec<(String, u32)> = Vec::new();
+        for topic_name in &state.subscribed {
+            let topic = self.topic(topic_name)?;
+            for p in 0..topic.partition_count() {
+                all.push((topic_name.clone(), p));
+            }
+        }
+        let mine = all
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % members.len() == my_index)
+            .map(|(_, tp)| tp)
+            .collect();
+        Ok((state.generation, mine))
+    }
+}
+
+/// The in-process message broker. Cheap to clone ([`Arc`]-backed);
+/// all clones address the same topics and groups.
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<BrokerInner>,
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("topics", &self.inner.topics.read().len())
+            .finish()
+    }
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Broker::new()
+    }
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Broker {
+            inner: Arc::new(BrokerInner {
+                topics: RwLock::new(HashMap::new()),
+                groups: Mutex::new(HashMap::new()),
+                appends: Mutex::new(0),
+                data_ready: Condvar::new(),
+                next_member: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Creates a topic.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TopicExists`] if the name is taken,
+    /// [`Error::InvalidConfig`] for zero partitions, or storage errors
+    /// for file-backed logs.
+    pub fn create_topic(&self, name: impl Into<String>, config: TopicConfig) -> Result<()> {
+        let name = name.into();
+        let mut topics = self.inner.topics.write();
+        if topics.contains_key(&name) {
+            return Err(Error::TopicExists(name));
+        }
+        let topic = Topic::create(
+            name.clone(),
+            config.partitions,
+            &config.log,
+            config.retention,
+        )?;
+        topics.insert(name, Arc::new(topic));
+        Ok(())
+    }
+
+    /// Deletes a topic. Consumers subscribed to it will error on
+    /// their next poll.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`] if it does not exist.
+    pub fn delete_topic(&self, name: &str) -> Result<()> {
+        self.inner
+            .topics
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| Error::UnknownTopic(name.to_string()))
+    }
+
+    /// Names of all existing topics, sorted.
+    pub fn topics(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.topics.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of partitions of `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`] if it does not exist.
+    pub fn partition_count(&self, name: &str) -> Result<u32> {
+        Ok(self.inner.topic(name)?.partition_count())
+    }
+
+    /// The `(start, end)` offsets of a partition.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`] / [`Error::UnknownPartition`].
+    pub fn offsets(&self, topic: &str, partition: u32) -> Result<(u64, u64)> {
+        self.inner.topic(topic)?.offsets(partition)
+    }
+
+    /// Creates a producer for this broker.
+    pub fn producer(&self) -> Producer {
+        Producer::new(Arc::clone(&self.inner))
+    }
+
+    /// Creates a consumer in `group` subscribed to `topics`.
+    /// Consumers sharing a group split the partitions between them;
+    /// distinct groups each see every record.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`] if any subscribed topic is missing.
+    pub fn consumer(&self, group: impl Into<String>, topics: &[&str]) -> Result<Consumer> {
+        let group = group.into();
+        let names: Vec<String> = topics.iter().map(|t| t.to_string()).collect();
+        for name in &names {
+            self.inner.topic(name)?; // Validate before registering.
+        }
+        Ok(Consumer::register(Arc::clone(&self.inner), group, names))
+    }
+
+    /// The committed offset of `(group, topic, partition)`, if any.
+    pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        self.inner
+            .groups
+            .lock()
+            .get(group)
+            .and_then(|g| g.offsets.get(&(topic.to_string(), partition)).copied())
+    }
+
+    /// The consumer lag of `group` on `topic`: how many stored
+    /// records lie beyond the group's committed offsets, summed over
+    /// partitions. Partitions with no committed offset count from the
+    /// log start. This is the backlog a saturated pipeline builds up
+    /// (the steeply-rising-latency regime of Figure 7).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`] if the topic does not exist.
+    pub fn consumer_lag(&self, group: &str, topic: &str) -> Result<u64> {
+        let t = self.inner.topic(topic)?;
+        let groups = self.inner.groups.lock();
+        let offsets = groups.get(group).map(|g| &g.offsets);
+        let mut lag = 0u64;
+        for p in 0..t.partition_count() {
+            let (start, end) = t.offsets(p)?;
+            let committed = offsets
+                .and_then(|o| o.get(&(topic.to_string(), p)).copied())
+                .unwrap_or(start)
+                .clamp(start, end);
+            lag += end - committed;
+        }
+        Ok(lag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_lifecycle() {
+        let broker = Broker::new();
+        broker.create_topic("a", TopicConfig::new(3)).unwrap();
+        assert!(matches!(
+            broker.create_topic("a", TopicConfig::new(1)),
+            Err(Error::TopicExists(_))
+        ));
+        assert_eq!(broker.topics(), vec!["a".to_string()]);
+        assert_eq!(broker.partition_count("a").unwrap(), 3);
+        broker.delete_topic("a").unwrap();
+        assert!(matches!(
+            broker.delete_topic("a"),
+            Err(Error::UnknownTopic(_))
+        ));
+    }
+
+    #[test]
+    fn consumer_requires_existing_topics() {
+        let broker = Broker::new();
+        assert!(matches!(
+            broker.consumer("g", &["missing"]),
+            Err(Error::UnknownTopic(_))
+        ));
+    }
+
+    #[test]
+    fn assignment_splits_partitions_across_members() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(4)).unwrap();
+        let c1 = broker.consumer("g", &["t"]).unwrap();
+        let c2 = broker.consumer("g", &["t"]).unwrap();
+        let (_, a1) = broker.inner.assignment_for("g", c1.member_id()).unwrap();
+        let (_, a2) = broker.inner.assignment_for("g", c2.member_id()).unwrap();
+        assert_eq!(a1.len(), 2);
+        assert_eq!(a2.len(), 2);
+        let mut all: Vec<u32> = a1.iter().chain(&a2).map(|(_, p)| *p).collect();
+        all.sort();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn consumer_lag_tracks_committed_offsets() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(2)).unwrap();
+        let producer = broker.producer();
+        for i in 0..10u8 {
+            producer.send("t", Some(&[i]), vec![i]).unwrap();
+        }
+        // No group state yet: everything is backlog.
+        assert_eq!(broker.consumer_lag("g", "t").unwrap(), 10);
+        let mut consumer = broker.consumer("g", &["t"]).unwrap();
+        let polled = consumer
+            .poll(std::time::Duration::from_millis(200))
+            .unwrap();
+        assert_eq!(polled.len(), 10);
+        // Polled but not committed: lag unchanged.
+        assert_eq!(broker.consumer_lag("g", "t").unwrap(), 10);
+        consumer.commit().unwrap();
+        assert_eq!(broker.consumer_lag("g", "t").unwrap(), 0);
+        producer.send("t", Some(&[7]), vec![7]).unwrap();
+        assert_eq!(broker.consumer_lag("g", "t").unwrap(), 1);
+        assert!(broker.consumer_lag("g", "missing").is_err());
+    }
+
+    #[test]
+    fn dropping_a_member_rebalances() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(2)).unwrap();
+        let c1 = broker.consumer("g", &["t"]).unwrap();
+        let gen_before = {
+            let c2 = broker.consumer("g", &["t"]).unwrap();
+            let (g, _) = broker.inner.assignment_for("g", c2.member_id()).unwrap();
+            g
+        }; // c2 dropped here.
+        let (gen_after, a1) = broker.inner.assignment_for("g", c1.member_id()).unwrap();
+        assert!(gen_after > gen_before);
+        assert_eq!(a1.len(), 2, "sole member owns every partition");
+    }
+}

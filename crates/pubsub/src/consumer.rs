@@ -1,0 +1,398 @@
+//! Consumers: poll records, coordinate through groups, commit
+//! offsets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::broker::BrokerInner;
+use crate::error::{Error, Result};
+use crate::record::Record;
+
+/// A record returned by [`Consumer::poll`], annotated with where it
+/// came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolledRecord {
+    /// Topic the record was read from.
+    pub topic: String,
+    /// Partition within the topic.
+    pub partition: u32,
+    /// The record's offset in that partition.
+    pub offset: u64,
+    /// The record itself.
+    pub record: Record,
+}
+
+/// A group member reading records from its assigned partitions.
+///
+/// A consumer starts at the group's committed offset for each
+/// assigned partition (or at the partition's start when nothing was
+/// committed). Positions advance as records are polled;
+/// [`commit`](Consumer::commit) persists them in the broker so a
+/// successor in the same group resumes where this consumer left off.
+///
+/// Dropping the consumer leaves the group, triggering a rebalance of
+/// its partitions onto the surviving members.
+pub struct Consumer {
+    inner: Arc<BrokerInner>,
+    group: String,
+    member_id: u64,
+    generation: u64,
+    assignment: Vec<(String, u32)>,
+    positions: HashMap<(String, u32), u64>,
+    appends_seen: u64,
+    max_poll_records: usize,
+}
+
+impl std::fmt::Debug for Consumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("group", &self.group)
+            .field("member_id", &self.member_id)
+            .field("assignment", &self.assignment)
+            .finish()
+    }
+}
+
+impl Consumer {
+    pub(crate) fn register(inner: Arc<BrokerInner>, group: String, topics: Vec<String>) -> Self {
+        let member_id = inner.register_member(&group, &topics);
+        Consumer {
+            inner,
+            group,
+            member_id,
+            generation: 0, // Stale on purpose: first poll fetches the assignment.
+            assignment: Vec::new(),
+            positions: HashMap::new(),
+            appends_seen: 0,
+            max_poll_records: 500,
+        }
+    }
+
+    /// This consumer's broker-assigned member id.
+    pub fn member_id(&self) -> u64 {
+        self.member_id
+    }
+
+    /// The group this consumer belongs to.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Caps how many records a single [`poll`](Consumer::poll)
+    /// returns (default 500).
+    pub fn set_max_poll_records(&mut self, max: usize) {
+        self.max_poll_records = max.max(1);
+    }
+
+    /// The partitions currently assigned to this consumer. Empty
+    /// until the first poll after joining or a rebalance.
+    pub fn assignment(&self) -> &[(String, u32)] {
+        &self.assignment
+    }
+
+    fn refresh_assignment(&mut self) -> Result<()> {
+        let (generation, assignment) = self.inner.assignment_for(&self.group, self.member_id)?;
+        if generation == self.generation && !self.assignment.is_empty() {
+            return Ok(());
+        }
+        self.generation = generation;
+        self.assignment = assignment;
+        self.positions.clear();
+        let groups = self.inner.groups.lock();
+        let committed = groups.get(&self.group).map(|g| &g.offsets);
+        for (topic, partition) in &self.assignment {
+            let key = (topic.clone(), *partition);
+            let position = match committed.and_then(|offsets| offsets.get(&key).copied()) {
+                Some(committed) => committed,
+                // No committed offset: start from the log's start.
+                None => self.inner.topic(topic)?.offsets(*partition)?.0,
+            };
+            self.positions.insert(key, position);
+        }
+        Ok(())
+    }
+
+    /// Fetches available records from the assigned partitions,
+    /// blocking up to `timeout` when none are immediately available.
+    /// An empty vector after `timeout` means no data arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`] if a subscribed topic was deleted,
+    /// or storage errors. [`Error::OffsetOutOfRange`] is handled
+    /// internally by snapping to the log start (retention may trim
+    /// records this consumer had not read yet).
+    pub fn poll(&mut self, timeout: Duration) -> Result<Vec<PolledRecord>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.refresh_assignment()?;
+            let mut out = Vec::new();
+            for (topic_name, partition) in self.assignment.clone() {
+                if out.len() >= self.max_poll_records {
+                    break;
+                }
+                let key = (topic_name.clone(), partition);
+                let position = *self.positions.get(&key).expect("assigned partition");
+                let topic = self.inner.topic(&topic_name)?;
+                let batch = match topic.read(partition, position, self.max_poll_records - out.len())
+                {
+                    Ok(batch) => batch,
+                    Err(Error::OffsetOutOfRange { start, .. }) => {
+                        // Retention trimmed past our position: snap forward.
+                        self.positions.insert(key.clone(), start);
+                        topic.read(partition, start, self.max_poll_records - out.len())?
+                    }
+                    Err(other) => return Err(other),
+                };
+                if let Some(last) = batch.last() {
+                    self.positions.insert(key, last.offset + 1);
+                }
+                out.extend(batch.into_iter().map(|stored| PolledRecord {
+                    topic: topic_name.clone(),
+                    partition,
+                    offset: stored.offset,
+                    record: stored.record,
+                }));
+            }
+            if !out.is_empty() {
+                return Ok(out);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            self.inner
+                .wait_for_data(&mut self.appends_seen, deadline - now);
+        }
+    }
+
+    /// Commits the current positions to the broker, making them the
+    /// group's resume points.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` reserves room for durable
+    /// group storage.
+    pub fn commit(&mut self) -> Result<()> {
+        let mut groups = self.inner.groups.lock();
+        if let Some(state) = groups.get_mut(&self.group) {
+            for (key, &position) in &self.positions {
+                state.offsets.insert(key.clone(), position);
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves this consumer's position on one partition.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the partition is not assigned to
+    /// this consumer.
+    pub fn seek(&mut self, topic: &str, partition: u32, offset: u64) -> Result<()> {
+        let key = (topic.to_string(), partition);
+        if !self.positions.contains_key(&key) {
+            // The assignment may simply not have been fetched yet.
+            self.refresh_assignment()?;
+        }
+        match self.positions.get_mut(&key) {
+            Some(position) => {
+                *position = offset;
+                Ok(())
+            }
+            None => Err(Error::InvalidConfig(format!(
+                "partition {topic}/{partition} is not assigned to this consumer"
+            ))),
+        }
+    }
+
+    /// Rewinds every assigned partition to its first stored record.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`] if a subscribed topic was deleted.
+    pub fn seek_to_beginning(&mut self) -> Result<()> {
+        self.refresh_assignment()?;
+        for (topic, partition) in self.assignment.clone() {
+            let (start, _) = self.inner.topic(&topic)?.offsets(partition)?;
+            self.positions.insert((topic, partition), start);
+        }
+        Ok(())
+    }
+
+    /// Fast-forwards every assigned partition past all stored
+    /// records, so only new data is polled.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`] if a subscribed topic was deleted.
+    pub fn seek_to_end(&mut self) -> Result<()> {
+        self.refresh_assignment()?;
+        for (topic, partition) in self.assignment.clone() {
+            let (_, end) = self.inner.topic(&topic)?.offsets(partition)?;
+            self.positions.insert((topic, partition), end);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        self.inner.deregister_member(&self.group, self.member_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::{Broker, TopicConfig};
+
+    fn broker_with(topic: &str, partitions: u32) -> Broker {
+        let broker = Broker::new();
+        broker
+            .create_topic(topic, TopicConfig::new(partitions))
+            .unwrap();
+        broker
+    }
+
+    #[test]
+    fn polls_produced_records() {
+        let broker = broker_with("t", 1);
+        let producer = broker.producer();
+        producer.send("t", None, "a").unwrap();
+        producer.send("t", None, "b").unwrap();
+        let mut consumer = broker.consumer("g", &["t"]).unwrap();
+        let got = consumer.poll(Duration::from_millis(100)).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].record.value.as_ref(), b"a");
+        assert_eq!(got[1].offset, 1);
+    }
+
+    #[test]
+    fn poll_times_out_without_data() {
+        let broker = broker_with("t", 1);
+        let mut consumer = broker.consumer("g", &["t"]).unwrap();
+        let start = Instant::now();
+        let got = consumer.poll(Duration::from_millis(50)).unwrap();
+        assert!(got.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn blocked_poll_wakes_on_produce() {
+        let broker = broker_with("t", 1);
+        let producer = broker.producer();
+        let mut consumer = broker.consumer("g", &["t"]).unwrap();
+        let handle = std::thread::spawn(move || consumer.poll(Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        producer.send("t", None, "late").unwrap();
+        let got = handle.join().unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn independent_groups_both_see_everything() {
+        let broker = broker_with("t", 2);
+        let producer = broker.producer();
+        for n in 0..10u8 {
+            producer.send("t", Some(&[n]), vec![n]).unwrap();
+        }
+        for group in ["g1", "g2"] {
+            let mut consumer = broker.consumer(group, &["t"]).unwrap();
+            let got = consumer.poll(Duration::from_millis(100)).unwrap();
+            assert_eq!(got.len(), 10, "group {group}");
+        }
+    }
+
+    #[test]
+    fn committed_offsets_resume_a_group() {
+        let broker = broker_with("t", 1);
+        let producer = broker.producer();
+        for n in 0..6u8 {
+            producer.send("t", None, vec![n]).unwrap();
+        }
+        {
+            let mut c = broker.consumer("g", &["t"]).unwrap();
+            c.set_max_poll_records(4);
+            let got = c.poll(Duration::from_millis(100)).unwrap();
+            assert_eq!(got.len(), 4);
+            c.commit().unwrap();
+        } // Consumer gone; offsets live in the group.
+        let mut c2 = broker.consumer("g", &["t"]).unwrap();
+        let got = c2.poll(Duration::from_millis(100)).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].offset, 4);
+    }
+
+    #[test]
+    fn group_members_split_the_stream() {
+        let broker = broker_with("t", 2);
+        let producer = broker.producer();
+        let mut c1 = broker.consumer("g", &["t"]).unwrap();
+        let mut c2 = broker.consumer("g", &["t"]).unwrap();
+        for n in 0..20u8 {
+            producer.send("t", Some(&[n]), vec![n]).unwrap();
+        }
+        let got1 = c1.poll(Duration::from_millis(100)).unwrap();
+        let got2 = c2.poll(Duration::from_millis(100)).unwrap();
+        assert_eq!(got1.len() + got2.len(), 20);
+        assert!(!got1.is_empty() && !got2.is_empty());
+        // No overlap between the two members.
+        let p1: std::collections::HashSet<u32> = got1.iter().map(|r| r.partition).collect();
+        let p2: std::collections::HashSet<u32> = got2.iter().map(|r| r.partition).collect();
+        assert!(p1.is_disjoint(&p2));
+    }
+
+    #[test]
+    fn seek_to_end_skips_history() {
+        let broker = broker_with("t", 1);
+        let producer = broker.producer();
+        producer.send("t", None, "old").unwrap();
+        let mut consumer = broker.consumer("g", &["t"]).unwrap();
+        consumer.seek_to_end().unwrap();
+        producer.send("t", None, "new").unwrap();
+        let got = consumer.poll(Duration::from_millis(100)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].record.value.as_ref(), b"new");
+    }
+
+    #[test]
+    fn seek_replays_from_arbitrary_offset() {
+        let broker = broker_with("t", 1);
+        let producer = broker.producer();
+        for n in 0..5u8 {
+            producer.send("t", None, vec![n]).unwrap();
+        }
+        let mut consumer = broker.consumer("g", &["t"]).unwrap();
+        let _ = consumer.poll(Duration::from_millis(50)).unwrap();
+        consumer.seek("t", 0, 2).unwrap();
+        let got = consumer.poll(Duration::from_millis(50)).unwrap();
+        assert_eq!(got[0].offset, 2);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn retention_snaps_position_forward() {
+        let broker = Broker::new();
+        broker
+            .create_topic(
+                "t",
+                TopicConfig::new(1).with_retention(
+                    crate::retention::RetentionPolicy::default().with_max_records(2),
+                ),
+            )
+            .unwrap();
+        let producer = broker.producer();
+        let mut consumer = broker.consumer("g", &["t"]).unwrap();
+        producer.send("t", None, "a").unwrap();
+        let _ = consumer.poll(Duration::from_millis(50)).unwrap();
+        // Produce enough that offset 1 is trimmed away.
+        for n in 0..5u8 {
+            producer.send("t", None, vec![n]).unwrap();
+        }
+        let got = consumer.poll(Duration::from_millis(100)).unwrap();
+        assert!(!got.is_empty(), "must recover instead of erroring");
+        assert!(got[0].offset >= 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Producers: append records to topics.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::broker::BrokerInner;
+use crate::error::Result;
+use crate::record::Record;
+
+/// Appends records to the broker's topics.
+///
+/// Partition choice follows Kafka's contract: keyed records go to
+/// `hash(key) % partitions`, preserving per-key order; keyless
+/// records round-robin for balance.
+pub struct Producer {
+    inner: Arc<BrokerInner>,
+    round_robin: AtomicUsize,
+}
+
+impl std::fmt::Debug for Producer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer").finish_non_exhaustive()
+    }
+}
+
+impl Producer {
+    pub(crate) fn new(inner: Arc<BrokerInner>) -> Self {
+        Producer {
+            inner,
+            round_robin: AtomicUsize::new(0),
+        }
+    }
+
+    /// Sends a record with the given `key` and `value` to `topic`,
+    /// returning `(partition, offset)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`](crate::Error::UnknownTopic) or storage
+    /// failures.
+    pub fn send(
+        &self,
+        topic: &str,
+        key: Option<&[u8]>,
+        value: impl Into<bytes::Bytes>,
+    ) -> Result<(u32, u64)> {
+        let record = Record::new(key.map(bytes::Bytes::copy_from_slice), value.into());
+        self.send_record(topic, record)
+    }
+
+    /// Sends a fully built [`Record`] to `topic`, returning
+    /// `(partition, offset)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`](crate::Error::UnknownTopic) or storage
+    /// failures.
+    pub fn send_record(&self, topic: &str, record: Record) -> Result<(u32, u64)> {
+        let t = self.inner.topic(topic)?;
+        let partitions = t.partition_count();
+        let partition = match &record.key {
+            Some(key) => {
+                let mut hasher = DefaultHasher::new();
+                key.hash(&mut hasher);
+                (hasher.finish() % partitions as u64) as u32
+            }
+            None => (self.round_robin.fetch_add(1, Ordering::Relaxed) % partitions as usize) as u32,
+        };
+        let offset = t.append(partition, record)?;
+        self.inner.notify_append();
+        Ok((partition, offset))
+    }
+
+    /// Sends a record to an explicit partition, bypassing the
+    /// partitioner. Returns the assigned offset.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`](crate::Error::UnknownTopic),
+    /// [`Error::UnknownPartition`](crate::Error::UnknownPartition), or
+    /// storage failures.
+    pub fn send_to_partition(&self, topic: &str, partition: u32, record: Record) -> Result<u64> {
+        let t = self.inner.topic(topic)?;
+        let offset = t.append(partition, record)?;
+        self.inner.notify_append();
+        Ok(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::broker::{Broker, TopicConfig};
+    use crate::record::Record;
+
+    #[test]
+    fn keyed_records_stay_on_one_partition() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(8)).unwrap();
+        let producer = broker.producer();
+        let mut partitions = std::collections::HashSet::new();
+        for _ in 0..10 {
+            let (p, _) = producer.send("t", Some(b"same-key"), "v").unwrap();
+            partitions.insert(p);
+        }
+        assert_eq!(partitions.len(), 1);
+    }
+
+    #[test]
+    fn keyless_records_round_robin() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(4)).unwrap();
+        let producer = broker.producer();
+        let ps: Vec<u32> = (0..8)
+            .map(|_| producer.send("t", None, "v").unwrap().0)
+            .collect();
+        assert_eq!(ps, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn offsets_are_dense_per_partition() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(1)).unwrap();
+        let producer = broker.producer();
+        for expected in 0..5u64 {
+            let (_, offset) = producer.send("t", None, "v").unwrap();
+            assert_eq!(offset, expected);
+        }
+    }
+
+    #[test]
+    fn explicit_partition_send() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(3)).unwrap();
+        let producer = broker.producer();
+        producer
+            .send_to_partition("t", 2, Record::new(None::<Vec<u8>>, "x"))
+            .unwrap();
+        assert_eq!(broker.offsets("t", 2).unwrap(), (0, 1));
+        assert_eq!(broker.offsets("t", 0).unwrap(), (0, 0));
+    }
+}

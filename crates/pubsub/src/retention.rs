@@ -1,0 +1,122 @@
+//! Retention policies bounding partition logs.
+
+use crate::error::Result;
+use crate::log::PartitionLog;
+
+/// Bounds the size of each partition log; checked after every append.
+///
+/// The default policy retains everything. A bound is a *target*:
+/// file-backed logs trim at whole-segment granularity, so they may
+/// briefly exceed it.
+///
+/// ```
+/// use strata_pubsub::RetentionPolicy;
+/// let policy = RetentionPolicy::default()
+///     .with_max_records(10_000)
+///     .with_max_bytes(64 * 1024 * 1024);
+/// assert_eq!(policy.max_records(), Some(10_000));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    max_records: Option<u64>,
+    max_bytes: Option<u64>,
+}
+
+impl RetentionPolicy {
+    /// Retains everything (same as `default`).
+    pub fn unbounded() -> Self {
+        RetentionPolicy::default()
+    }
+
+    /// Limits each partition to at most `max` records.
+    pub fn with_max_records(mut self, max: u64) -> Self {
+        self.max_records = Some(max);
+        self
+    }
+
+    /// Limits each partition to approximately `max` payload bytes.
+    pub fn with_max_bytes(mut self, max: u64) -> Self {
+        self.max_bytes = Some(max);
+        self
+    }
+
+    /// The record-count bound, if any.
+    pub fn max_records(&self) -> Option<u64> {
+        self.max_records
+    }
+
+    /// The byte-size bound, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// Applies the policy to `log`, trimming old records as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures from the log.
+    pub fn apply(&self, log: &mut dyn PartitionLog) -> Result<()> {
+        if let Some(max) = self.max_records {
+            if log.len() > max {
+                let target = log.end_offset() - max;
+                log.truncate_before(target)?;
+            }
+        }
+        if let Some(max) = self.max_bytes {
+            // Trim one record at a time until under the bound; cheap
+            // because appends check after every record.
+            while log.size_bytes() > max && log.len() > 1 {
+                let start = log.start_offset();
+                if log.truncate_before(start + 1)? == start {
+                    break; // Storage cannot trim further (segment granularity).
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::MemoryLog;
+    use crate::record::Record;
+
+    fn filled(n: u64) -> MemoryLog {
+        let mut log = MemoryLog::new();
+        for i in 0..n {
+            log.append(Record::new(None::<Vec<u8>>, vec![0u8; 10]).with_timestamp(i))
+                .unwrap();
+        }
+        log
+    }
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut log = filled(100);
+        RetentionPolicy::unbounded().apply(&mut log).unwrap();
+        assert_eq!(log.len(), 100);
+    }
+
+    #[test]
+    fn record_bound_trims_oldest() {
+        let mut log = filled(100);
+        RetentionPolicy::default()
+            .with_max_records(30)
+            .apply(&mut log)
+            .unwrap();
+        assert_eq!(log.len(), 30);
+        assert_eq!(log.start_offset(), 70);
+    }
+
+    #[test]
+    fn byte_bound_trims_to_target() {
+        let mut log = filled(100); // 10 bytes per record.
+        RetentionPolicy::default()
+            .with_max_bytes(55)
+            .apply(&mut log)
+            .unwrap();
+        assert!(log.size_bytes() <= 55);
+        assert!(log.len() >= 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Topics and partitions: named groups of ordered logs.
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+use crate::log::{FileLog, LogKind, MemoryLog, PartitionLog};
+use crate::record::{Record, StoredRecord};
+use crate::retention::RetentionPolicy;
+
+/// One partition: a lock-protected log.
+pub(crate) struct Partition {
+    log: Mutex<Box<dyn PartitionLog>>,
+}
+
+impl Partition {
+    fn new(log: Box<dyn PartitionLog>) -> Self {
+        Partition {
+            log: Mutex::new(log),
+        }
+    }
+}
+
+/// A named topic with a fixed number of partitions.
+pub(crate) struct Topic {
+    name: String,
+    partitions: Vec<Partition>,
+    retention: RetentionPolicy,
+}
+
+impl std::fmt::Debug for Topic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Topic")
+            .field("name", &self.name)
+            .field("partitions", &self.partitions.len())
+            .finish()
+    }
+}
+
+impl Topic {
+    pub(crate) fn create(
+        name: String,
+        partitions: u32,
+        kind: &LogKind,
+        retention: RetentionPolicy,
+    ) -> Result<Self> {
+        if partitions == 0 {
+            return Err(Error::InvalidConfig(format!(
+                "topic `{name}` needs at least one partition"
+            )));
+        }
+        let mut parts = Vec::with_capacity(partitions as usize);
+        for p in 0..partitions {
+            let log: Box<dyn PartitionLog> = match kind {
+                LogKind::Memory => Box::new(MemoryLog::new()),
+                LogKind::File { dir, segment_bytes } => Box::new(FileLog::open(
+                    dir.join(&name).join(format!("p{p:04}")),
+                    *segment_bytes,
+                )?),
+            };
+            parts.push(Partition::new(log));
+        }
+        Ok(Topic {
+            name,
+            partitions: parts,
+            retention,
+        })
+    }
+
+    pub(crate) fn partition_count(&self) -> u32 {
+        self.partitions.len() as u32
+    }
+
+    fn partition(&self, partition: u32) -> Result<&Partition> {
+        self.partitions
+            .get(partition as usize)
+            .ok_or_else(|| Error::UnknownPartition {
+                topic: self.name.clone(),
+                partition,
+            })
+    }
+
+    /// Appends `record` to `partition`, applying retention, and
+    /// returns the assigned offset.
+    pub(crate) fn append(&self, partition: u32, record: Record) -> Result<u64> {
+        let mut log = self.partition(partition)?.log.lock();
+        let offset = log.append(record)?;
+        self.retention.apply(log.as_mut())?;
+        Ok(offset)
+    }
+
+    /// Reads up to `max_records` records of `partition` starting at
+    /// `offset`.
+    pub(crate) fn read(
+        &self,
+        partition: u32,
+        offset: u64,
+        max_records: usize,
+    ) -> Result<Vec<StoredRecord>> {
+        self.partition(partition)?
+            .log
+            .lock()
+            .read_from(offset, max_records)
+    }
+
+    /// `(start, end)` offsets of `partition`.
+    pub(crate) fn offsets(&self, partition: u32) -> Result<(u64, u64)> {
+        let log = self.partition(partition)?.log.lock();
+        Ok((log.start_offset(), log.end_offset()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic(partitions: u32) -> Topic {
+        Topic::create(
+            "t".into(),
+            partitions,
+            &LogKind::Memory,
+            RetentionPolicy::unbounded(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_partitions() {
+        assert!(matches!(
+            Topic::create(
+                "t".into(),
+                0,
+                &LogKind::Memory,
+                RetentionPolicy::unbounded()
+            ),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn partitions_are_independent() {
+        let t = topic(2);
+        t.append(0, Record::new(None::<Vec<u8>>, "a")).unwrap();
+        t.append(1, Record::new(None::<Vec<u8>>, "b")).unwrap();
+        t.append(1, Record::new(None::<Vec<u8>>, "c")).unwrap();
+        assert_eq!(t.offsets(0).unwrap(), (0, 1));
+        assert_eq!(t.offsets(1).unwrap(), (0, 2));
+        assert_eq!(t.read(1, 1, 10).unwrap()[0].record.value.as_ref(), b"c");
+    }
+
+    #[test]
+    fn unknown_partition_is_reported() {
+        let t = topic(1);
+        assert!(matches!(
+            t.read(7, 0, 1),
+            Err(Error::UnknownPartition { partition: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn retention_applies_on_append() {
+        let t = Topic::create(
+            "t".into(),
+            1,
+            &LogKind::Memory,
+            RetentionPolicy::default().with_max_records(2),
+        )
+        .unwrap();
+        for n in 0..5u8 {
+            t.append(0, Record::new(None::<Vec<u8>>, vec![n])).unwrap();
+        }
+        assert_eq!(t.offsets(0).unwrap(), (3, 5));
+    }
+}

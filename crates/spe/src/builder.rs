@@ -1,0 +1,604 @@
+//! Declarative construction of continuous queries.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver};
+use parking_lot::Mutex;
+
+use crate::element::Element;
+use crate::error::{Error, Result};
+use crate::metrics::NodeMetrics;
+use crate::operator::UnaryOperator;
+use crate::operators::aggregate::{Aggregate, WindowBounds};
+use crate::operators::join::Join;
+use crate::operators::router::{RoutePolicy, Router};
+use crate::operators::{Filter, FlatMap, Identity, Map};
+use crate::query::Query;
+use crate::runtime::{self, Ports};
+use crate::sink::CollectHandle;
+use crate::source::Source;
+use crate::time::Timestamped;
+use crate::window::WindowSpec;
+
+static BUILDER_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// A typed handle to the output stream of a node under construction.
+///
+/// `Stream` is a lightweight copyable token; it is only valid with
+/// the [`QueryBuilder`] that created it (using it with another builder
+/// is reported as [`Error::InvalidQuery`] at
+/// [`build`](QueryBuilder::build) time).
+pub struct Stream<T> {
+    node: usize,
+    port: usize,
+    builder: u64,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> std::fmt::Debug for Stream<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stream")
+            .field("node", &self.node)
+            .field("port", &self.port)
+            .finish()
+    }
+}
+
+impl<T> Clone for Stream<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Stream<T> {}
+
+type WorkerFn = Box<dyn FnOnce() + Send>;
+type Factory = Box<
+    dyn FnOnce(Box<dyn Any + Send>, Arc<AtomicBool>, Arc<Mutex<Vec<Error>>>) -> WorkerFn + Send,
+>;
+
+struct NodeSpec {
+    name: String,
+    senders: Box<dyn Any + Send>,
+    factory: Factory,
+    metrics: Arc<NodeMetrics>,
+}
+
+/// Builder for a continuous query: declare sources, operators and
+/// sinks, then [`build`](QueryBuilder::build) a runnable [`Query`].
+///
+/// Construction never fails midway — invalid uses (duplicate node
+/// names, foreign stream handles, zero parallelism) are recorded and
+/// reported together by `build` ([C-BUILDER], deferred validation).
+///
+/// See the [crate documentation](crate) for a complete example.
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+pub struct QueryBuilder {
+    name: String,
+    capacity: usize,
+    nodes: Vec<NodeSpec>,
+    errors: Vec<Error>,
+    source_count: usize,
+    sink_count: usize,
+    id: u64,
+}
+
+impl std::fmt::Debug for QueryBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryBuilder")
+            .field("name", &self.name)
+            .field("nodes", &self.nodes.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl QueryBuilder {
+    /// Creates a builder for a query called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        QueryBuilder {
+            name: name.into(),
+            capacity: 256,
+            nodes: Vec::new(),
+            errors: Vec::new(),
+            source_count: 0,
+            sink_count: 0,
+            id: BUILDER_IDS.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Sets the capacity of every channel created from now on.
+    /// Smaller capacities bound memory and tighten backpressure;
+    /// larger ones absorb bursts. The default is 256 elements.
+    pub fn channel_capacity(&mut self, capacity: usize) -> &mut Self {
+        if capacity == 0 {
+            self.errors
+                .push(Error::InvalidConfig("channel capacity must be > 0".into()));
+        } else {
+            self.capacity = capacity;
+        }
+        self
+    }
+
+    fn check_name(&mut self, name: &str) {
+        if self.nodes.iter().any(|n| n.name == name) {
+            self.errors
+                .push(Error::InvalidQuery(format!("duplicate node name `{name}`")));
+        }
+    }
+
+    fn connect<T: Clone + Send + 'static>(&mut self, s: &Stream<T>) -> Receiver<Element<T>> {
+        let (tx, rx) = bounded(self.capacity);
+        if s.builder != self.id {
+            self.errors.push(Error::InvalidQuery(
+                "stream handle used with a different QueryBuilder".into(),
+            ));
+            return rx; // Disconnected: tx dropped below.
+        }
+        match self.nodes[s.node].senders.downcast_mut::<Ports<T>>() {
+            Some(ports) => ports[s.port].push(tx),
+            None => self.errors.push(Error::InvalidQuery(format!(
+                "stream type mismatch on node `{}`",
+                self.nodes[s.node].name
+            ))),
+        }
+        rx
+    }
+
+    fn stream<T>(&self, node: usize, port: usize) -> Stream<T> {
+        Stream {
+            node,
+            port,
+            builder: self.id,
+            _marker: PhantomData,
+        }
+    }
+
+    fn empty_ports<T: Clone + Send + 'static>(ports: usize) -> Box<dyn Any + Send> {
+        let p: Ports<T> = (0..ports).map(|_| Vec::new()).collect();
+        Box::new(p)
+    }
+
+    /// Adds a [`Source`] node; its stream carries whatever the source
+    /// emits.
+    pub fn source<S>(&mut self, name: impl Into<String>, source: S) -> Stream<S::Out>
+    where
+        S: Source + 'static,
+    {
+        let name = name.into();
+        self.check_name(&name);
+        let metrics = Arc::new(NodeMetrics::new(name.clone()));
+        let m = Arc::clone(&metrics);
+        let node_name = name.clone();
+        let factory: Factory = Box::new(move |senders, stop, errors| {
+            let ports = *senders
+                .downcast::<Ports<S::Out>>()
+                .expect("source port type");
+            Box::new(move || runtime::run_source(source, node_name, ports, stop, m, errors))
+        });
+        self.nodes.push(NodeSpec {
+            name,
+            senders: Self::empty_ports::<S::Out>(1),
+            factory,
+            metrics,
+        });
+        self.source_count += 1;
+        self.stream(self.nodes.len() - 1, 0)
+    }
+
+    /// Adds a custom [`UnaryOperator`] node — the escape hatch behind
+    /// [`map`](Self::map), [`filter`](Self::filter),
+    /// [`flat_map`](Self::flat_map) and
+    /// [`aggregate`](Self::aggregate).
+    pub fn operator<I, O, Op>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<I>,
+        op: Op,
+    ) -> Stream<O>
+    where
+        I: Clone + Send + 'static,
+        O: Clone + Send + 'static,
+        Op: UnaryOperator<I, O> + 'static,
+    {
+        let rx = self.connect(input);
+        self.unary_node(name.into(), vec![rx], op)
+    }
+
+    fn unary_node<I, O, Op>(
+        &mut self,
+        name: String,
+        rxs: Vec<Receiver<Element<I>>>,
+        op: Op,
+    ) -> Stream<O>
+    where
+        I: Clone + Send + 'static,
+        O: Clone + Send + 'static,
+        Op: UnaryOperator<I, O> + 'static,
+    {
+        self.check_name(&name);
+        let metrics = Arc::new(NodeMetrics::new(name.clone()));
+        let m = Arc::clone(&metrics);
+        let factory: Factory = Box::new(move |senders, _stop, _errors| {
+            let ports = *senders.downcast::<Ports<O>>().expect("unary port type");
+            Box::new(move || runtime::run_unary(op, rxs, ports, m))
+        });
+        self.nodes.push(NodeSpec {
+            name,
+            senders: Self::empty_ports::<O>(1),
+            factory,
+            metrics,
+        });
+        self.stream(self.nodes.len() - 1, 0)
+    }
+
+    /// Adds a `Map` node: exactly one output per input.
+    pub fn map<I, O>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<I>,
+        f: impl FnMut(I) -> O + Send + 'static,
+    ) -> Stream<O>
+    where
+        I: Clone + Send + 'static,
+        O: Clone + Send + 'static,
+    {
+        self.operator(name, input, Map::new(f))
+    }
+
+    /// Adds a `Filter` node: forwards items satisfying the predicate.
+    pub fn filter<T>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<T>,
+        predicate: impl FnMut(&T) -> bool + Send + 'static,
+    ) -> Stream<T>
+    where
+        T: Clone + Send + 'static,
+    {
+        self.operator(name, input, Filter::new(predicate))
+    }
+
+    /// Adds a `FlatMap` node: zero or more outputs per input.
+    pub fn flat_map<I, O, II>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<I>,
+        f: impl FnMut(I) -> II + Send + 'static,
+    ) -> Stream<O>
+    where
+        I: Clone + Send + 'static,
+        O: Clone + Send + 'static,
+        II: IntoIterator<Item = O> + 'static,
+    {
+        self.operator(name, input, FlatMap::new(f))
+    }
+
+    /// Adds an `Aggregate` node: event-time windows of `spec`, grouped
+    /// by `key_fn`, reduced by `window_fn` when the watermark closes
+    /// each window. See [`Aggregate`] for ordering and lateness
+    /// semantics.
+    pub fn aggregate<I, K, O>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<I>,
+        spec: WindowSpec,
+        key_fn: impl FnMut(&I) -> K + Send + 'static,
+        window_fn: impl FnMut(&K, WindowBounds, &[I]) -> Vec<O> + Send + 'static,
+    ) -> Stream<O>
+    where
+        I: Timestamped + Clone + Send + 'static,
+        K: Ord + Clone + Send + 'static,
+        O: Clone + Send + 'static,
+    {
+        self.operator(name, input, Aggregate::new(spec, key_fn, window_fn))
+    }
+
+    /// Adds a `Join` node over a `left` and a `right` stream: emits
+    /// `join_fn(l, r)` for every pair with `|l.τ − r.τ| ≤ ws_millis`
+    /// sharing the same group-by key. See [`Join`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn join<L, R, K, O>(
+        &mut self,
+        name: impl Into<String>,
+        left: &Stream<L>,
+        right: &Stream<R>,
+        ws_millis: u64,
+        key_left: impl FnMut(&L) -> K + Send + 'static,
+        key_right: impl FnMut(&R) -> K + Send + 'static,
+        join_fn: impl FnMut(&L, &R) -> Option<O> + Send + 'static,
+    ) -> Stream<O>
+    where
+        L: Timestamped + Clone + Send + 'static,
+        R: Timestamped + Clone + Send + 'static,
+        K: std::hash::Hash + Eq + Clone + Send + 'static,
+        O: Clone + Send + 'static,
+    {
+        let name = name.into();
+        let left_rx = self.connect(left);
+        let right_rx = self.connect(right);
+        self.check_name(&name);
+        let metrics = Arc::new(NodeMetrics::new(name.clone()));
+        let m = Arc::clone(&metrics);
+        let op = Join::new(ws_millis, key_left, key_right, join_fn);
+        let factory: Factory = Box::new(move |senders, _stop, _errors| {
+            let ports = *senders.downcast::<Ports<O>>().expect("join port type");
+            Box::new(move || runtime::run_binary(op, vec![left_rx], vec![right_rx], ports, m))
+        });
+        self.nodes.push(NodeSpec {
+            name,
+            senders: Self::empty_ports::<O>(1),
+            factory,
+            metrics,
+        });
+        self.stream(self.nodes.len() - 1, 0)
+    }
+
+    /// Adds a `Union` node merging homogeneous streams; watermarks
+    /// are merged as the minimum across inputs.
+    pub fn union<T>(&mut self, name: impl Into<String>, inputs: &[Stream<T>]) -> Stream<T>
+    where
+        T: Clone + Send + 'static,
+    {
+        if inputs.is_empty() {
+            self.errors.push(Error::InvalidQuery(
+                "union requires at least one input stream".into(),
+            ));
+        }
+        let rxs: Vec<_> = inputs.iter().map(|s| self.connect(s)).collect();
+        self.unary_node(name.into(), rxs, Identity::new())
+    }
+
+    /// Adds a router node distributing items over `ports` output
+    /// streams according to `policy`; watermarks and end-of-stream
+    /// reach every port. Used to build parallel operator instances —
+    /// see [`parallel_operator`](Self::parallel_operator).
+    pub fn route<T>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<T>,
+        ports: usize,
+        policy: RoutePolicy<T>,
+    ) -> Vec<Stream<T>>
+    where
+        T: Clone + Send + 'static,
+    {
+        let name = name.into();
+        let ports = if ports == 0 {
+            self.errors.push(Error::InvalidConfig(
+                "route requires at least one output port".into(),
+            ));
+            1
+        } else {
+            ports
+        };
+        let rx = self.connect(input);
+        self.check_name(&name);
+        let metrics = Arc::new(NodeMetrics::new(name.clone()));
+        let m = Arc::clone(&metrics);
+        let router = Router::new(policy, ports);
+        let factory: Factory = Box::new(move |senders, _stop, _errors| {
+            let p = *senders.downcast::<Ports<T>>().expect("router port type");
+            Box::new(move || runtime::run_router(router, vec![rx], p, m))
+        });
+        self.nodes.push(NodeSpec {
+            name,
+            senders: Self::empty_ports::<T>(ports),
+            factory,
+            metrics,
+        });
+        let node = self.nodes.len() - 1;
+        (0..ports).map(|p| self.stream(node, p)).collect()
+    }
+
+    /// Runs `parallelism` instances of a unary operator side by side:
+    /// items are routed by `policy`, each instance is produced by
+    /// `op_factory(instance_index)`, and the instance outputs are
+    /// merged back into a single stream.
+    ///
+    /// For stateful operators use [`RoutePolicy::by_key`] with the
+    /// operator's group-by key so each instance sees complete groups.
+    pub fn parallel_operator<I, O, Op>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<I>,
+        parallelism: usize,
+        policy: RoutePolicy<I>,
+        op_factory: impl Fn(usize) -> Op,
+    ) -> Stream<O>
+    where
+        I: Clone + Send + 'static,
+        O: Clone + Send + 'static,
+        Op: UnaryOperator<I, O> + 'static,
+    {
+        let name = name.into();
+        let parallelism = if parallelism == 0 {
+            self.errors
+                .push(Error::InvalidConfig("parallelism must be > 0".into()));
+            1
+        } else {
+            parallelism
+        };
+        let routed = self.route(format!("{name}.route"), input, parallelism, policy);
+        let instances: Vec<Stream<O>> = routed
+            .iter()
+            .enumerate()
+            .map(|(i, s)| self.operator(format!("{name}.{i}"), s, op_factory(i)))
+            .collect();
+        self.union(format!("{name}.merge"), &instances)
+    }
+
+    /// Adds a sink node invoking `f` on every item it receives.
+    pub fn sink<T>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<T>,
+        f: impl FnMut(T) + Send + 'static,
+    ) where
+        T: Clone + Send + 'static,
+    {
+        let name = name.into();
+        let rx = self.connect(input);
+        self.check_name(&name);
+        let metrics = Arc::new(NodeMetrics::new(name.clone()));
+        let m = Arc::clone(&metrics);
+        let factory: Factory = Box::new(move |_senders, _stop, _errors| {
+            Box::new(move || runtime::run_sink(f, vec![rx], m))
+        });
+        self.nodes.push(NodeSpec {
+            name,
+            senders: Self::empty_ports::<T>(0),
+            factory,
+            metrics,
+        });
+        self.sink_count += 1;
+    }
+
+    /// Adds an element-level sink: `f` receives data items, merged
+    /// watermarks and the final end-of-stream marker — everything a
+    /// connector needs to republish a stream (control flow included)
+    /// into an external system.
+    pub fn element_sink<T>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<T>,
+        f: impl FnMut(Element<T>) + Send + 'static,
+    ) where
+        T: Clone + Send + 'static,
+    {
+        let name = name.into();
+        let rx = self.connect(input);
+        self.check_name(&name);
+        let metrics = Arc::new(NodeMetrics::new(name.clone()));
+        let m = Arc::clone(&metrics);
+        let factory: Factory = Box::new(move |_senders, _stop, _errors| {
+            Box::new(move || runtime::run_element_sink(f, vec![rx], m))
+        });
+        self.nodes.push(NodeSpec {
+            name,
+            senders: Self::empty_ports::<T>(0),
+            factory,
+            metrics,
+        });
+        self.sink_count += 1;
+    }
+
+    /// Adds a sink that appends every item to a shared buffer and
+    /// returns the [`CollectHandle`] for reading it back.
+    pub fn collect_sink<T>(
+        &mut self,
+        name: impl Into<String>,
+        input: &Stream<T>,
+    ) -> CollectHandle<T>
+    where
+        T: Clone + Send + 'static,
+    {
+        let handle = CollectHandle::new();
+        let sink_handle = handle.clone();
+        self.sink(name, input, move |item| sink_handle.push(item));
+        handle
+    }
+
+    /// Finalizes the graph into a runnable [`Query`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error recorded by the builder
+    /// methods, or [`Error::InvalidQuery`] if the graph has no source
+    /// or no sink.
+    pub fn build(mut self) -> Result<Query> {
+        if self.source_count == 0 {
+            self.errors
+                .push(Error::InvalidQuery("query has no source".into()));
+        }
+        if self.sink_count == 0 {
+            self.errors
+                .push(Error::InvalidQuery("query has no sink".into()));
+        }
+        if let Some(err) = self.errors.into_iter().next() {
+            return Err(err);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let errors = Arc::new(Mutex::new(Vec::new()));
+        let mut workers = Vec::with_capacity(self.nodes.len());
+        let mut metrics = Vec::with_capacity(self.nodes.len());
+        for node in self.nodes {
+            metrics.push(Arc::clone(&node.metrics));
+            let worker = (node.factory)(node.senders, Arc::clone(&stop), Arc::clone(&errors));
+            workers.push((node.name, worker));
+        }
+        Ok(Query::new(self.name, workers, stop, metrics, errors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::IteratorSource;
+
+    #[test]
+    fn rejects_empty_query() {
+        let qb = QueryBuilder::new("empty");
+        assert!(matches!(qb.build(), Err(Error::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn rejects_query_without_sink() {
+        let mut qb = QueryBuilder::new("no-sink");
+        let _src = qb.source("s", IteratorSource::new(0..3));
+        assert!(matches!(qb.build(), Err(Error::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut qb = QueryBuilder::new("dups");
+        let s = qb.source("node", IteratorSource::new(0..3));
+        let t = qb.map("node", &s, |x| x);
+        let _ = qb.collect_sink("out", &t);
+        assert!(matches!(qb.build(), Err(Error::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        let mut qb = QueryBuilder::new("cap");
+        qb.channel_capacity(0);
+        let s = qb.source("s", IteratorSource::new(0..3));
+        let _ = qb.collect_sink("out", &s);
+        assert!(matches!(qb.build(), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn rejects_foreign_stream_handles() {
+        let mut qb1 = QueryBuilder::new("one");
+        let foreign = qb1.source("s", IteratorSource::new(0..3));
+        let mut qb2 = QueryBuilder::new("two");
+        let local = qb2.source("s", IteratorSource::new(0..3));
+        let _ = qb2.collect_sink("ok", &local);
+        let _ = qb2.collect_sink("bad", &foreign);
+        assert!(matches!(qb2.build(), Err(Error::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn rejects_zero_parallelism_and_ports() {
+        let mut qb = QueryBuilder::new("zero");
+        let s = qb.source("s", IteratorSource::new(0..3));
+        let streams = qb.route("r", &s, 0, RoutePolicy::RoundRobin);
+        assert_eq!(streams.len(), 1, "clamped to one port");
+        let _ = qb.collect_sink("out", &streams[0]);
+        assert!(matches!(qb.build(), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn streams_are_copy() {
+        let mut qb = QueryBuilder::new("copy");
+        let s = qb.source("s", IteratorSource::new(0..3));
+        let s2 = s; // Copy
+        let _ = qb.collect_sink("a", &s);
+        let _ = qb.collect_sink("b", &s2);
+        assert!(qb.build().is_ok());
+    }
+}

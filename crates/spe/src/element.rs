@@ -1,0 +1,92 @@
+//! Stream elements: data items plus in-band control markers.
+
+use crate::time::Timestamp;
+
+/// A single unit flowing through a stream channel: either a data item
+/// or an in-band control marker.
+///
+/// Watermarks and end-of-stream markers travel through the same
+/// bounded channels as data, so control information can never overtake
+/// the data it describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Element<T> {
+    /// A data tuple.
+    Item(T),
+    /// A promise from the upstream node that no future [`Item`] on
+    /// this channel will carry an event time **strictly lower** than
+    /// the carried timestamp. Watermarks drive window closing in
+    /// stateful operators.
+    ///
+    /// [`Item`]: Element::Item
+    Watermark(Timestamp),
+    /// End of stream: the upstream node has finished and will send
+    /// nothing further. Receiving `End` on every input causes a node
+    /// to flush its state and propagate `End` downstream.
+    End,
+}
+
+impl<T> Element<T> {
+    /// Returns `true` for [`Element::Item`].
+    pub fn is_item(&self) -> bool {
+        matches!(self, Element::Item(_))
+    }
+
+    /// Returns `true` for [`Element::End`].
+    pub fn is_end(&self) -> bool {
+        matches!(self, Element::End)
+    }
+
+    /// Returns the contained item, if any.
+    pub fn into_item(self) -> Option<T> {
+        match self {
+            Element::Item(item) => Some(item),
+            _ => None,
+        }
+    }
+
+    /// Maps the contained item with `f`, preserving control markers.
+    ///
+    /// ```
+    /// use strata_spe::{Element, Timestamp};
+    /// let e = Element::Item(2).map(|x| x * 10);
+    /// assert_eq!(e, Element::Item(20));
+    /// let w: Element<i32> = Element::Watermark(Timestamp::from_millis(5));
+    /// assert_eq!(w.map(|x| x * 10), Element::Watermark(Timestamp::from_millis(5)));
+    /// ```
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Element<U> {
+        match self {
+            Element::Item(item) => Element::Item(f(item)),
+            Element::Watermark(w) => Element::Watermark(w),
+            Element::End => Element::End,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(Element::Item(1).is_item());
+        assert!(!Element::Item(1).is_end());
+        assert!(Element::<u32>::End.is_end());
+        assert!(!Element::<u32>::Watermark(Timestamp::MIN).is_item());
+    }
+
+    #[test]
+    fn into_item_extracts_only_items() {
+        assert_eq!(Element::Item(7).into_item(), Some(7));
+        assert_eq!(Element::<u8>::End.into_item(), None);
+        assert_eq!(
+            Element::<u8>::Watermark(Timestamp::from_millis(1)).into_item(),
+            None
+        );
+    }
+
+    #[test]
+    fn map_preserves_markers() {
+        let end: Element<u32> = Element::End;
+        assert_eq!(end.map(|x| x + 1), Element::End);
+    }
+}

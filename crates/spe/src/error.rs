@@ -1,0 +1,75 @@
+//! Error type for query construction and execution.
+
+use std::fmt;
+
+/// A specialized `Result` whose error type is [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building or running a continuous query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The query graph is invalid (e.g. it has no source, or a node
+    /// name is duplicated).
+    InvalidQuery(String),
+    /// A configuration parameter is out of range (e.g. a zero channel
+    /// capacity or a zero window advance).
+    InvalidConfig(String),
+    /// A worker thread panicked while the query was running.
+    WorkerPanicked {
+        /// Name of the node whose thread panicked.
+        node: String,
+    },
+    /// A source reported a failure while producing data.
+    SourceFailed {
+        /// Name of the failing source node.
+        node: String,
+        /// Human-readable failure reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::WorkerPanicked { node } => {
+                write!(f, "worker thread for node `{node}` panicked")
+            }
+            Error::SourceFailed { node, reason } => {
+                write!(f, "source `{node}` failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = Error::InvalidQuery("no source".into());
+        assert_eq!(err.to_string(), "invalid query: no source");
+        let err = Error::WorkerPanicked { node: "agg".into() };
+        assert!(err.to_string().contains("agg"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn source_failed_mentions_reason() {
+        let err = Error::SourceFailed {
+            node: "ot".into(),
+            reason: "disk gone".into(),
+        };
+        assert!(err.to_string().contains("disk gone"));
+    }
+}

@@ -1,0 +1,279 @@
+//! The stateful `Aggregate` operator: event-time windows with
+//! optional group-by.
+
+use std::collections::BTreeMap;
+
+use crate::operator::UnaryOperator;
+use crate::time::{Timestamp, Timestamped};
+use crate::window::WindowSpec;
+
+/// Event-time bounds and index of one window instance handed to the
+/// window function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowBounds {
+    /// The window index `ℓ` (windows cover `[ℓ·WA, ℓ·WA + WS)`).
+    pub index: u64,
+    /// Inclusive event-time start of the window.
+    pub start: Timestamp,
+    /// Exclusive event-time end of the window.
+    pub end: Timestamp,
+}
+
+/// `Aggregate` maintains, per group-by key, a window of size `WS` and
+/// advance `WA` over the most recent tuples and applies a window
+/// function when event time (the watermark) passes the window's end
+/// (§2 of the STRATA paper).
+///
+/// The window function receives the key, the window bounds and the
+/// buffered tuples **in arrival order**, and returns any number of
+/// outputs. Windows close in increasing `(index, key)` order, which
+/// makes output order deterministic for a given input order.
+///
+/// Tuples arriving *after* their window has already been closed by a
+/// watermark are late; they are dropped and counted in
+/// [`late_items`](Aggregate::late_items).
+pub struct Aggregate<I, K, O, KF, WF> {
+    spec: WindowSpec,
+    key_fn: KF,
+    window_fn: WF,
+    /// window index → key → buffered tuples (arrival order).
+    #[allow(clippy::type_complexity)]
+    state: BTreeMap<u64, BTreeMap<K, Vec<I>>>,
+    /// All windows with index < `closed_below` have been emitted.
+    closed_below: u64,
+    late_items: u64,
+    _out: std::marker::PhantomData<fn() -> O>,
+}
+
+impl<I, K, O, KF, WF> std::fmt::Debug for Aggregate<I, K, O, KF, WF> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aggregate")
+            .field("spec", &self.spec)
+            .field("open_windows", &self.state.len())
+            .field("closed_below", &self.closed_below)
+            .field("late_items", &self.late_items)
+            .finish()
+    }
+}
+
+impl<I, K, O, KF, WF> Aggregate<I, K, O, KF, WF>
+where
+    I: Timestamped + Clone,
+    K: Ord + Clone,
+    KF: FnMut(&I) -> K + Send,
+    WF: FnMut(&K, WindowBounds, &[I]) -> Vec<O> + Send,
+{
+    /// Creates an aggregate with the given window specification,
+    /// group-by key extractor and window function.
+    pub fn new(spec: WindowSpec, key_fn: KF, window_fn: WF) -> Self {
+        Aggregate {
+            spec,
+            key_fn,
+            window_fn,
+            state: BTreeMap::new(),
+            closed_below: 0,
+            late_items: 0,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of tuples dropped (fully or partially) because they
+    /// arrived after one of their windows had closed.
+    pub fn late_items(&self) -> u64 {
+        self.late_items
+    }
+
+    /// Number of window instances currently buffering tuples.
+    pub fn open_windows(&self) -> usize {
+        self.state.len()
+    }
+
+    fn close_up_to(&mut self, limit: Timestamp, out: &mut Vec<O>) {
+        // Even windows that buffered nothing count as closed once the
+        // watermark passes their end: a later tuple for them is late.
+        let limit_millis = limit.as_millis();
+        if limit_millis == u64::MAX {
+            self.closed_below = u64::MAX;
+        } else if limit_millis >= self.spec.size_millis() {
+            let last_closed = (limit_millis - self.spec.size_millis()) / self.spec.advance_millis();
+            self.closed_below = self.closed_below.max(last_closed + 1);
+        }
+        // Close every window whose end is at or before `limit`,
+        // in increasing window order, then in key order.
+        while let Some((&index, _)) = self.state.iter().next() {
+            let (start, end) = self.spec.window_bounds(index);
+            if end > limit {
+                break;
+            }
+            let keys = self.state.remove(&index).expect("peeked entry exists");
+            let bounds = WindowBounds { index, start, end };
+            for (key, items) in keys {
+                out.extend((self.window_fn)(&key, bounds, &items));
+            }
+            self.closed_below = self.closed_below.max(index + 1);
+        }
+    }
+}
+
+impl<I, K, O, KF, WF> UnaryOperator<I, O> for Aggregate<I, K, O, KF, WF>
+where
+    I: Timestamped + Clone + Send,
+    K: Ord + Clone + Send,
+    O: Send,
+    KF: FnMut(&I) -> K + Send,
+    WF: FnMut(&K, WindowBounds, &[I]) -> Vec<O> + Send,
+{
+    fn on_item(&mut self, item: I, _out: &mut Vec<O>) {
+        let ts = item.timestamp();
+        let key = (self.key_fn)(&item);
+        let first = self.spec.first_window_index(ts);
+        let last = self.spec.last_window_index(ts);
+        if last < self.closed_below {
+            self.late_items += 1;
+            return;
+        }
+        let live_first = first.max(self.closed_below);
+        if live_first > first {
+            self.late_items += 1; // Partially late: some windows already closed.
+        }
+        for index in live_first..=last {
+            self.state
+                .entry(index)
+                .or_default()
+                .entry(key.clone())
+                .or_default()
+                .push(item.clone());
+        }
+    }
+
+    fn on_watermark(&mut self, watermark: Timestamp, out: &mut Vec<O>) {
+        self.close_up_to(watermark, out);
+    }
+
+    fn on_end(&mut self, out: &mut Vec<O>) {
+        self.close_up_to(Timestamp::MAX, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Reading {
+        ts: u64,
+        sensor: u8,
+        value: f64,
+    }
+
+    impl Timestamped for Reading {
+        fn timestamp(&self) -> Timestamp {
+            Timestamp::from_millis(self.ts)
+        }
+    }
+
+    fn reading(ts: u64, sensor: u8, value: f64) -> Reading {
+        Reading { ts, sensor, value }
+    }
+
+    type SumOut = (u8, u64, f64);
+
+    #[allow(clippy::type_complexity)]
+    fn sum_agg(
+        spec: WindowSpec,
+    ) -> Aggregate<
+        Reading,
+        u8,
+        SumOut,
+        impl FnMut(&Reading) -> u8 + Send,
+        impl FnMut(&u8, WindowBounds, &[Reading]) -> Vec<SumOut> + Send,
+    > {
+        Aggregate::new(
+            spec,
+            |r: &Reading| r.sensor,
+            |k: &u8, b: WindowBounds, items: &[Reading]| {
+                vec![(*k, b.index, items.iter().map(|r| r.value).sum())]
+            },
+        )
+    }
+
+    #[test]
+    fn tumbling_windows_close_on_watermark() {
+        let mut agg = sum_agg(WindowSpec::tumbling(100).unwrap());
+        let mut out = Vec::new();
+        agg.on_item(reading(10, 1, 1.0), &mut out);
+        agg.on_item(reading(20, 1, 2.0), &mut out);
+        agg.on_item(reading(110, 1, 5.0), &mut out);
+        assert!(out.is_empty(), "nothing closes before a watermark");
+        agg.on_watermark(Timestamp::from_millis(100), &mut out);
+        assert_eq!(out, vec![(1, 0, 3.0)]);
+        out.clear();
+        agg.on_end(&mut out);
+        assert_eq!(out, vec![(1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn group_by_separates_keys() {
+        let mut agg = sum_agg(WindowSpec::tumbling(100).unwrap());
+        let mut out = Vec::new();
+        agg.on_item(reading(5, 2, 1.0), &mut out);
+        agg.on_item(reading(6, 1, 10.0), &mut out);
+        agg.on_item(reading(7, 2, 2.0), &mut out);
+        agg.on_end(&mut out);
+        // Keys close in key order within a window.
+        assert_eq!(out, vec![(1, 0, 10.0), (2, 0, 3.0)]);
+    }
+
+    #[test]
+    fn sliding_windows_share_tuples() {
+        // WS=100, WA=50: t=60 belongs to windows 0 and 1.
+        let mut agg = sum_agg(WindowSpec::sliding(100, 50).unwrap());
+        let mut out = Vec::new();
+        agg.on_item(reading(60, 1, 4.0), &mut out);
+        agg.on_end(&mut out);
+        assert_eq!(out, vec![(1, 0, 4.0), (1, 1, 4.0)]);
+    }
+
+    #[test]
+    fn late_items_are_dropped_and_counted() {
+        let mut agg = sum_agg(WindowSpec::tumbling(100).unwrap());
+        let mut out = Vec::new();
+        agg.on_watermark(Timestamp::from_millis(200), &mut out);
+        agg.on_item(reading(50, 1, 1.0), &mut out); // window 0 closed long ago
+        assert_eq!(agg.late_items(), 1);
+        agg.on_end(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn watermark_is_exclusive_of_open_windows() {
+        let mut agg = sum_agg(WindowSpec::tumbling(100).unwrap());
+        let mut out = Vec::new();
+        agg.on_item(reading(10, 1, 1.0), &mut out);
+        // Watermark 99 < window end 100: window must stay open.
+        agg.on_watermark(Timestamp::from_millis(99), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(agg.open_windows(), 1);
+        agg.on_watermark(Timestamp::from_millis(100), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(agg.open_windows(), 0);
+    }
+
+    #[test]
+    fn outputs_preserve_arrival_order_within_window() {
+        let spec = WindowSpec::tumbling(1_000).unwrap();
+        let mut agg = Aggregate::new(
+            spec,
+            |_: &Reading| 0u8,
+            |_k: &u8, _b: WindowBounds, items: &[Reading]| {
+                vec![items.iter().map(|r| r.value as i64).collect::<Vec<_>>()]
+            },
+        );
+        let mut out = Vec::new();
+        // Out-of-timestamp-order arrival is preserved as arrival order.
+        agg.on_item(reading(30, 0, 3.0), &mut out);
+        agg.on_item(reading(10, 0, 1.0), &mut out);
+        agg.on_end(&mut out);
+        assert_eq!(out, vec![vec![3, 1]]);
+    }
+}

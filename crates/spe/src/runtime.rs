@@ -1,0 +1,493 @@
+//! Worker loops: one thread per node, watermark merging across
+//! inputs, broadcast fan-out, cooperative termination.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Select, Sender};
+use parking_lot::Mutex;
+
+use crate::element::Element;
+use crate::error::Error;
+use crate::metrics::NodeMetrics;
+use crate::operator::{BinaryOperator, UnaryOperator};
+use crate::operators::router::Router;
+use crate::source::{Source, SourceContext};
+use crate::time::Timestamp;
+
+/// Output ports of a node: `ports[p]` is the list of downstream
+/// channels attached to port `p`. Ordinary nodes have one port and
+/// broadcast to every channel on it; router nodes send each item to
+/// exactly one port.
+pub(crate) type Ports<T> = Vec<Vec<Sender<Element<T>>>>;
+
+/// Sends a clone of `element` to every channel of every port.
+/// Returns `true` while at least one receiver is still connected.
+fn broadcast_all<T: Clone>(ports: &Ports<T>, element: &Element<T>) -> bool {
+    let mut alive = false;
+    for port in ports {
+        for tx in port {
+            if tx.send(element.clone()).is_ok() {
+                alive = true;
+            }
+        }
+    }
+    alive
+}
+
+/// Tracks the watermark of each input channel and exposes the
+/// combined (minimum) watermark across the inputs that are still
+/// open. A closed input no longer constrains progress.
+#[derive(Debug)]
+pub(crate) struct WatermarkMerge {
+    per_input: Vec<Timestamp>,
+    closed: Vec<bool>,
+    combined: Timestamp,
+}
+
+impl WatermarkMerge {
+    pub(crate) fn new(inputs: usize) -> Self {
+        WatermarkMerge {
+            per_input: vec![Timestamp::MIN; inputs],
+            closed: vec![false; inputs],
+            combined: Timestamp::MIN,
+        }
+    }
+
+    /// Records a watermark on `input`; returns the new combined
+    /// watermark if it advanced.
+    pub(crate) fn advance(&mut self, input: usize, watermark: Timestamp) -> Option<Timestamp> {
+        if watermark > self.per_input[input] {
+            self.per_input[input] = watermark;
+        }
+        self.recompute()
+    }
+
+    /// Marks `input` as closed; returns the new combined watermark if
+    /// closing it unblocked progress.
+    pub(crate) fn close(&mut self, input: usize) -> Option<Timestamp> {
+        self.closed[input] = true;
+        self.recompute()
+    }
+
+    pub(crate) fn all_closed(&self) -> bool {
+        self.closed.iter().all(|&c| c)
+    }
+
+    fn recompute(&mut self) -> Option<Timestamp> {
+        let min = self
+            .per_input
+            .iter()
+            .zip(&self.closed)
+            .filter(|(_, &closed)| !closed)
+            .map(|(&wm, _)| wm)
+            .min()
+            .unwrap_or(Timestamp::MAX);
+        if min > self.combined {
+            self.combined = min;
+            Some(min)
+        } else {
+            None
+        }
+    }
+}
+
+/// Receives from whichever of `rxs` is ready; `None` marks
+/// already-closed slots. Returns `(input_index, element_or_closed)`.
+fn recv_any<T>(rxs: &[Option<Receiver<Element<T>>>]) -> (usize, Option<Element<T>>) {
+    let mut sel = Select::new();
+    let mut index_map = Vec::new();
+    for (i, rx) in rxs.iter().enumerate() {
+        if let Some(rx) = rx {
+            sel.recv(rx);
+            index_map.push(i);
+        }
+    }
+    debug_assert!(!index_map.is_empty());
+    let oper = sel.select();
+    let slot = index_map[oper.index()];
+    let rx = rxs[slot].as_ref().expect("selected receiver exists");
+    match oper.recv(rx) {
+        Ok(el) => (slot, Some(el)),
+        Err(_) => (slot, None),
+    }
+}
+
+/// Drains `out` into the node's ports, recording output metrics.
+/// Returns `false` when every downstream consumer is gone.
+fn flush_outputs<O: Clone>(out: &mut Vec<O>, ports: &Ports<O>, metrics: &NodeMetrics) -> bool {
+    let mut alive = true;
+    for item in out.drain(..) {
+        metrics.record_out(1);
+        alive = broadcast_all(ports, &Element::Item(item));
+    }
+    alive
+}
+
+/// The worker loop shared by every single-input-type node (Map,
+/// Filter, FlatMap, Aggregate, Union/Identity, sinks are separate).
+pub(crate) fn run_unary<I, O, Op>(
+    mut op: Op,
+    rxs: Vec<Receiver<Element<I>>>,
+    ports: Ports<O>,
+    metrics: Arc<NodeMetrics>,
+) where
+    I: Clone + Send,
+    O: Clone + Send,
+    Op: UnaryOperator<I, O>,
+{
+    let has_outputs = ports.iter().any(|p| !p.is_empty());
+    let mut rxs: Vec<Option<_>> = rxs.into_iter().map(Some).collect();
+    let mut merge = WatermarkMerge::new(rxs.len());
+    let mut out: Vec<O> = Vec::new();
+    loop {
+        let (slot, received) = recv_any(&rxs);
+        match received {
+            Some(Element::Item(item)) => {
+                metrics.record_in(1);
+                op.on_item(item, &mut out);
+                if !flush_outputs(&mut out, &ports, &metrics) && has_outputs {
+                    return;
+                }
+            }
+            Some(Element::Watermark(wm)) => {
+                metrics.record_watermark();
+                if let Some(combined) = merge.advance(slot, wm) {
+                    op.on_watermark(combined, &mut out);
+                    let alive = flush_outputs(&mut out, &ports, &metrics)
+                        && broadcast_all(&ports, &Element::Watermark(combined));
+                    if !alive && has_outputs {
+                        return;
+                    }
+                }
+            }
+            Some(Element::End) | None => {
+                rxs[slot] = None;
+                if let Some(combined) = merge.close(slot) {
+                    if !merge.all_closed() {
+                        op.on_watermark(combined, &mut out);
+                        let alive = flush_outputs(&mut out, &ports, &metrics)
+                            && broadcast_all(&ports, &Element::Watermark(combined));
+                        if !alive && has_outputs {
+                            return;
+                        }
+                    }
+                }
+                if merge.all_closed() {
+                    op.on_end(&mut out);
+                    flush_outputs(&mut out, &ports, &metrics);
+                    broadcast_all(&ports, &Element::End);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The worker loop for two-input-type nodes (Join). `left_rxs` and
+/// `right_rxs` are usually singletons but may each carry several
+/// channels (e.g. a union feeding a join side directly).
+pub(crate) fn run_binary<L, R, O, Op>(
+    mut op: Op,
+    left_rxs: Vec<Receiver<Element<L>>>,
+    right_rxs: Vec<Receiver<Element<R>>>,
+    ports: Ports<O>,
+    metrics: Arc<NodeMetrics>,
+) where
+    L: Clone + Send,
+    R: Clone + Send,
+    O: Clone + Send,
+    Op: BinaryOperator<L, R, O>,
+{
+    let has_outputs = ports.iter().any(|p| !p.is_empty());
+    let left_count = left_rxs.len();
+    let mut left: Vec<Option<_>> = left_rxs.into_iter().map(Some).collect();
+    let mut right: Vec<Option<_>> = right_rxs.into_iter().map(Some).collect();
+    let mut merge = WatermarkMerge::new(left.len() + right.len());
+    let mut out: Vec<O> = Vec::new();
+
+    loop {
+        // A heterogeneous select: left and right channels carry
+        // different element types, so build the Select manually.
+        let mut sel = Select::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (i, rx) in left.iter().enumerate() {
+            if let Some(rx) = rx {
+                sel.recv(rx);
+                slots.push(i);
+            }
+        }
+        for (i, rx) in right.iter().enumerate() {
+            if let Some(rx) = rx {
+                sel.recv(rx);
+                slots.push(left_count + i);
+            }
+        }
+        debug_assert!(!slots.is_empty());
+        let oper = sel.select();
+        let slot = slots[oper.index()];
+        let is_left = slot < left_count;
+
+        let event: Option<ElementEvent<L, R>> = if is_left {
+            let rx = left[slot].as_ref().expect("open left receiver");
+            match oper.recv(rx) {
+                Ok(Element::Item(i)) => Some(ElementEvent::Left(i)),
+                Ok(Element::Watermark(w)) => Some(ElementEvent::Watermark(w)),
+                Ok(Element::End) | Err(_) => None,
+            }
+        } else {
+            let rx = right[slot - left_count]
+                .as_ref()
+                .expect("open right receiver");
+            match oper.recv(rx) {
+                Ok(Element::Item(i)) => Some(ElementEvent::Right(i)),
+                Ok(Element::Watermark(w)) => Some(ElementEvent::Watermark(w)),
+                Ok(Element::End) | Err(_) => None,
+            }
+        };
+
+        match event {
+            Some(ElementEvent::Left(item)) => {
+                metrics.record_in(1);
+                op.on_left(item, &mut out);
+                if !flush_outputs(&mut out, &ports, &metrics) && has_outputs {
+                    return;
+                }
+            }
+            Some(ElementEvent::Right(item)) => {
+                metrics.record_in(1);
+                op.on_right(item, &mut out);
+                if !flush_outputs(&mut out, &ports, &metrics) && has_outputs {
+                    return;
+                }
+            }
+            Some(ElementEvent::Watermark(wm)) => {
+                metrics.record_watermark();
+                if let Some(combined) = merge.advance(slot, wm) {
+                    op.on_watermark(combined, &mut out);
+                    let alive = flush_outputs(&mut out, &ports, &metrics)
+                        && broadcast_all(&ports, &Element::Watermark(combined));
+                    if !alive && has_outputs {
+                        return;
+                    }
+                }
+            }
+            None => {
+                if is_left {
+                    left[slot] = None;
+                } else {
+                    right[slot - left_count] = None;
+                }
+                if let Some(combined) = merge.close(slot) {
+                    if !merge.all_closed() {
+                        op.on_watermark(combined, &mut out);
+                        let alive = flush_outputs(&mut out, &ports, &metrics)
+                            && broadcast_all(&ports, &Element::Watermark(combined));
+                        if !alive && has_outputs {
+                            return;
+                        }
+                    }
+                }
+                if merge.all_closed() {
+                    op.on_end(&mut out);
+                    flush_outputs(&mut out, &ports, &metrics);
+                    broadcast_all(&ports, &Element::End);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+enum ElementEvent<L, R> {
+    Left(L),
+    Right(R),
+    Watermark(Timestamp),
+}
+
+/// The worker loop for router nodes: each item goes to exactly one
+/// port (all channels of that port, normally one); watermarks and
+/// end-of-stream go to every port.
+pub(crate) fn run_router<T>(
+    mut router: Router<T>,
+    rxs: Vec<Receiver<Element<T>>>,
+    ports: Ports<T>,
+    metrics: Arc<NodeMetrics>,
+) where
+    T: Clone + Send,
+{
+    let mut rxs: Vec<Option<_>> = rxs.into_iter().map(Some).collect();
+    let mut merge = WatermarkMerge::new(rxs.len());
+    loop {
+        let (slot, received) = recv_any(&rxs);
+        match received {
+            Some(Element::Item(item)) => {
+                metrics.record_in(1);
+                let port = router.route(&item);
+                metrics.record_out(1);
+                let mut alive = false;
+                for tx in &ports[port] {
+                    if tx.send(Element::Item(item.clone())).is_ok() {
+                        alive = true;
+                    }
+                }
+                if !alive {
+                    return;
+                }
+            }
+            Some(Element::Watermark(wm)) => {
+                metrics.record_watermark();
+                if let Some(combined) = merge.advance(slot, wm) {
+                    if !broadcast_all(&ports, &Element::Watermark(combined)) {
+                        return;
+                    }
+                }
+            }
+            Some(Element::End) | None => {
+                rxs[slot] = None;
+                if let Some(combined) = merge.close(slot) {
+                    if !merge.all_closed() {
+                        broadcast_all(&ports, &Element::Watermark(combined));
+                    }
+                }
+                if merge.all_closed() {
+                    broadcast_all(&ports, &Element::End);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The worker loop for source nodes: runs the user source, then
+/// closes the stream.
+pub(crate) fn run_source<S>(
+    mut source: S,
+    name: String,
+    ports: Ports<S::Out>,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<NodeMetrics>,
+    errors: Arc<Mutex<Vec<Error>>>,
+) where
+    S: Source,
+{
+    let outputs: Vec<Sender<Element<S::Out>>> = ports.into_iter().flatten().collect();
+    let mut ctx = SourceContext::new(outputs.clone(), stop, metrics);
+    if let Err(reason) = source.run(&mut ctx) {
+        errors
+            .lock()
+            .push(Error::SourceFailed { node: name, reason });
+    }
+    for tx in &outputs {
+        let _ = tx.send(Element::End);
+    }
+}
+
+/// The worker loop for element-level sink nodes: the callback sees
+/// items, (merged) watermarks and the final end-of-stream marker —
+/// what a connector publisher needs to forward stream control through
+/// a broker topic.
+pub(crate) fn run_element_sink<T, F>(
+    mut f: F,
+    rxs: Vec<Receiver<Element<T>>>,
+    metrics: Arc<NodeMetrics>,
+) where
+    T: Clone + Send,
+    F: FnMut(Element<T>),
+{
+    let mut rxs: Vec<Option<_>> = rxs.into_iter().map(Some).collect();
+    let mut merge = WatermarkMerge::new(rxs.len());
+    loop {
+        let (slot, received) = recv_any(&rxs);
+        match received {
+            Some(Element::Item(item)) => {
+                metrics.record_in(1);
+                f(Element::Item(item));
+            }
+            Some(Element::Watermark(wm)) => {
+                metrics.record_watermark();
+                if let Some(combined) = merge.advance(slot, wm) {
+                    f(Element::Watermark(combined));
+                }
+            }
+            Some(Element::End) | None => {
+                rxs[slot] = None;
+                if let Some(combined) = merge.close(slot) {
+                    if !merge.all_closed() {
+                        f(Element::Watermark(combined));
+                    }
+                }
+                if merge.all_closed() {
+                    f(Element::End);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The worker loop for sink nodes: applies the callback to every item
+/// until all inputs end.
+pub(crate) fn run_sink<T, F>(mut f: F, rxs: Vec<Receiver<Element<T>>>, metrics: Arc<NodeMetrics>)
+where
+    T: Clone + Send,
+    F: FnMut(T),
+{
+    let mut rxs: Vec<Option<_>> = rxs.into_iter().map(Some).collect();
+    let mut open = rxs.iter().filter(|r| r.is_some()).count();
+    while open > 0 {
+        let (slot, received) = recv_any(&rxs);
+        match received {
+            Some(Element::Item(item)) => {
+                metrics.record_in(1);
+                f(item);
+            }
+            Some(Element::Watermark(_)) => metrics.record_watermark(),
+            Some(Element::End) | None => {
+                rxs[slot] = None;
+                open -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_merge_takes_minimum() {
+        let mut m = WatermarkMerge::new(2);
+        assert_eq!(m.advance(0, Timestamp::from_millis(10)), None); // input 1 still at MIN
+        assert_eq!(
+            m.advance(1, Timestamp::from_millis(5)),
+            Some(Timestamp::from_millis(5))
+        );
+        assert_eq!(
+            m.advance(1, Timestamp::from_millis(20)),
+            Some(Timestamp::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn watermark_merge_ignores_regressions() {
+        let mut m = WatermarkMerge::new(1);
+        assert_eq!(
+            m.advance(0, Timestamp::from_millis(10)),
+            Some(Timestamp::from_millis(10))
+        );
+        assert_eq!(m.advance(0, Timestamp::from_millis(5)), None);
+    }
+
+    #[test]
+    fn closing_an_input_unblocks_progress() {
+        let mut m = WatermarkMerge::new(2);
+        m.advance(0, Timestamp::from_millis(100));
+        // Input 1 never advanced; closing it releases input 0's watermark.
+        assert_eq!(m.close(1), Some(Timestamp::from_millis(100)));
+        assert!(!m.all_closed());
+        // Closing the last input pushes the combined watermark to MAX.
+        assert_eq!(m.close(0), Some(Timestamp::MAX));
+        assert!(m.all_closed());
+    }
+}

@@ -1,0 +1,166 @@
+//! Event time: timestamps and the [`Timestamped`] trait.
+//!
+//! The engine is driven by *event time*: every tuple carries a
+//! timestamp `τ` assigned by the source that created it, and windowed
+//! operators reason about `τ`, not about the wall clock. Progress of
+//! event time is communicated by watermarks (see
+//! [`Element::Watermark`](crate::element::Element::Watermark)).
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An event-time instant, in milliseconds since an arbitrary epoch
+/// chosen by the data source.
+///
+/// `Timestamp` is a transparent newtype over `u64` ([C-NEWTYPE]) so
+/// that event time cannot be accidentally mixed with other integer
+/// quantities such as layer indexes or wall-clock nanoseconds.
+///
+/// ```
+/// use strata_spe::Timestamp;
+/// let t = Timestamp::from_millis(1_500);
+/// assert_eq!(t.as_millis(), 1_500);
+/// assert_eq!(t + 500, Timestamp::from_millis(2_000));
+/// ```
+///
+/// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The smallest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(0);
+    /// The largest representable timestamp; used internally to mean
+    /// "event time has ended" on a closed input.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from milliseconds since the stream epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        Timestamp(millis)
+    }
+
+    /// Returns the timestamp as milliseconds since the stream epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Absolute difference between two timestamps, in milliseconds.
+    ///
+    /// ```
+    /// use strata_spe::Timestamp;
+    /// let a = Timestamp::from_millis(10);
+    /// let b = Timestamp::from_millis(4);
+    /// assert_eq!(a.abs_diff(b), 6);
+    /// assert_eq!(b.abs_diff(a), 6);
+    /// ```
+    pub const fn abs_diff(self, other: Timestamp) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// Saturating subtraction of a duration in milliseconds.
+    pub const fn saturating_sub(self, millis: u64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(millis))
+    }
+
+    /// Saturating addition of a duration in milliseconds.
+    pub const fn saturating_add(self, millis: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(millis))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(millis: u64) -> Self {
+        Timestamp(millis)
+    }
+}
+
+impl From<Timestamp> for u64 {
+    fn from(t: Timestamp) -> Self {
+        t.0
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: u64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for Timestamp {
+    type Output = Timestamp;
+
+    fn sub(self, rhs: u64) -> Timestamp {
+        Timestamp(self.0 - rhs)
+    }
+}
+
+/// Types that carry an event-time timestamp `τ`.
+///
+/// Windowed operators ([`aggregate`](crate::builder::QueryBuilder::aggregate),
+/// [`join`](crate::builder::QueryBuilder::join)) require their inputs
+/// to implement this trait.
+pub trait Timestamped {
+    /// The event time at which this value was created by its source.
+    fn timestamp(&self) -> Timestamp;
+}
+
+impl Timestamped for Timestamp {
+    fn timestamp(&self) -> Timestamp {
+        *self
+    }
+}
+
+impl<T: Timestamped> Timestamped for &T {
+    fn timestamp(&self) -> Timestamp {
+        (**self).timestamp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        let t = Timestamp::from_millis(42);
+        assert_eq!(t.as_millis(), 42);
+        assert_eq!(u64::from(t), 42);
+        assert_eq!(Timestamp::from(42u64), t);
+    }
+
+    #[test]
+    fn ordering_follows_millis() {
+        assert!(Timestamp::from_millis(1) < Timestamp::from_millis(2));
+        assert_eq!(Timestamp::MIN, Timestamp::from_millis(0));
+        assert!(Timestamp::MAX > Timestamp::from_millis(u64::MAX - 1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_millis(100);
+        assert_eq!((t + 50).as_millis(), 150);
+        assert_eq!((t - 50).as_millis(), 50);
+        assert_eq!(t.saturating_sub(200), Timestamp::MIN);
+        assert_eq!(Timestamp::MAX.saturating_add(1), Timestamp::MAX);
+    }
+
+    #[test]
+    fn display_mentions_unit() {
+        assert_eq!(Timestamp::from_millis(7).to_string(), "7ms");
+    }
+
+    #[test]
+    fn references_are_timestamped() {
+        let t = Timestamp::from_millis(3);
+        let r = &t;
+        assert_eq!(Timestamped::timestamp(&r), t);
+    }
+}

@@ -1,0 +1,163 @@
+//! Event-time window specifications.
+
+use crate::error::{Error, Result};
+use crate::time::Timestamp;
+
+/// Specification of a sliding event-time window with size `WS` and
+/// advance `WA`, both in milliseconds, as defined in §2 of the STRATA
+/// paper: for each group-by value, windows cover the periods
+/// `[ℓ·WA, ℓ·WA + WS)` with `ℓ ∈ ℕ`.
+///
+/// A *tumbling* window is the special case `WA == WS`.
+///
+/// ```
+/// use strata_spe::WindowSpec;
+/// let w = WindowSpec::sliding(1_000, 250)?;
+/// assert_eq!(w.size_millis(), 1_000);
+/// assert_eq!(w.advance_millis(), 250);
+/// let t = WindowSpec::tumbling(500)?;
+/// assert_eq!(t.advance_millis(), t.size_millis());
+/// # Ok::<(), strata_spe::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowSpec {
+    size: u64,
+    advance: u64,
+}
+
+impl WindowSpec {
+    /// Creates a sliding window with the given size and advance, in
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if either parameter is zero or
+    /// if the advance exceeds the size (which would drop tuples
+    /// falling between consecutive windows).
+    pub fn sliding(size_millis: u64, advance_millis: u64) -> Result<Self> {
+        if size_millis == 0 {
+            return Err(Error::InvalidConfig("window size must be > 0".into()));
+        }
+        if advance_millis == 0 {
+            return Err(Error::InvalidConfig("window advance must be > 0".into()));
+        }
+        if advance_millis > size_millis {
+            return Err(Error::InvalidConfig(format!(
+                "window advance ({advance_millis}ms) must not exceed size ({size_millis}ms)"
+            )));
+        }
+        Ok(WindowSpec {
+            size: size_millis,
+            advance: advance_millis,
+        })
+    }
+
+    /// Creates a tumbling window (`advance == size`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `size_millis` is zero.
+    pub fn tumbling(size_millis: u64) -> Result<Self> {
+        WindowSpec::sliding(size_millis, size_millis)
+    }
+
+    /// Window size `WS` in milliseconds.
+    pub const fn size_millis(&self) -> u64 {
+        self.size
+    }
+
+    /// Window advance `WA` in milliseconds.
+    pub const fn advance_millis(&self) -> u64 {
+        self.advance
+    }
+
+    /// Index `ℓ` of the first window containing `t`, i.e. the smallest
+    /// `ℓ` such that `t < ℓ·WA + WS` — clamped to zero.
+    pub fn first_window_index(&self, t: Timestamp) -> u64 {
+        let t = t.as_millis();
+        if t < self.size {
+            0
+        } else {
+            // First ℓ with ℓ·WA + WS > t  ⇔  ℓ > (t − WS) / WA.
+            (t - self.size) / self.advance + 1
+        }
+    }
+
+    /// Index of the last window containing `t`: the largest `ℓ` with
+    /// `ℓ·WA ≤ t`.
+    pub fn last_window_index(&self, t: Timestamp) -> u64 {
+        t.as_millis() / self.advance
+    }
+
+    /// The half-open event-time bounds `[start, end)` of window `ℓ`.
+    pub fn window_bounds(&self, index: u64) -> (Timestamp, Timestamp) {
+        let start = index.saturating_mul(self.advance);
+        (
+            Timestamp::from_millis(start),
+            Timestamp::from_millis(start.saturating_add(self.size)),
+        )
+    }
+
+    /// All window indexes containing `t`, in increasing order.
+    pub fn window_indexes(&self, t: Timestamp) -> impl Iterator<Item = u64> {
+        self.first_window_index(t)..=self.last_window_index(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_windows() {
+        assert!(WindowSpec::sliding(0, 1).is_err());
+        assert!(WindowSpec::sliding(1, 0).is_err());
+        assert!(WindowSpec::sliding(10, 20).is_err());
+        assert!(WindowSpec::tumbling(0).is_err());
+    }
+
+    #[test]
+    fn tumbling_assigns_each_tuple_to_one_window() {
+        let w = WindowSpec::tumbling(100).unwrap();
+        for (t, expected) in [(0, 0), (99, 0), (100, 1), (250, 2)] {
+            let idx: Vec<u64> = w.window_indexes(Timestamp::from_millis(t)).collect();
+            assert_eq!(idx, vec![expected], "t={t}");
+        }
+    }
+
+    #[test]
+    fn sliding_assigns_to_overlapping_windows() {
+        // WS=100, WA=25 → each tuple is in 4 windows (once past startup).
+        let w = WindowSpec::sliding(100, 25).unwrap();
+        let idx: Vec<u64> = w.window_indexes(Timestamp::from_millis(100)).collect();
+        assert_eq!(idx, vec![1, 2, 3, 4]);
+        // Startup: t=10 is only in window 0.
+        let idx: Vec<u64> = w.window_indexes(Timestamp::from_millis(10)).collect();
+        assert_eq!(idx, vec![0]);
+    }
+
+    #[test]
+    fn bounds_cover_their_tuples() {
+        let w = WindowSpec::sliding(100, 40).unwrap();
+        for t in [0u64, 39, 40, 99, 100, 1234] {
+            let ts = Timestamp::from_millis(t);
+            for idx in w.window_indexes(ts) {
+                let (start, end) = w.window_bounds(idx);
+                assert!(start <= ts && ts < end, "t={t} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_membership_is_exact() {
+        // A window index not in window_indexes(t) must not cover t.
+        let w = WindowSpec::sliding(60, 20).unwrap();
+        let ts = Timestamp::from_millis(200);
+        let member: Vec<u64> = w.window_indexes(ts).collect();
+        for idx in 0..20 {
+            let (start, end) = w.window_bounds(idx);
+            let covers = start <= ts && ts < end;
+            assert_eq!(covers, member.contains(&idx), "idx={idx}");
+        }
+    }
+}

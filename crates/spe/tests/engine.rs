@@ -1,0 +1,255 @@
+//! End-to-end tests of the engine: full query graphs with real
+//! threads, watermark-driven windows, joins, routing and unions.
+
+use strata_spe::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    ts: u64,
+    key: u32,
+    value: i64,
+}
+
+impl Timestamped for Event {
+    fn timestamp(&self) -> Timestamp {
+        Timestamp::from_millis(self.ts)
+    }
+}
+
+fn events(spec: &[(u64, u32, i64)]) -> Vec<Event> {
+    spec.iter()
+        .map(|&(ts, key, value)| Event { ts, key, value })
+        .collect()
+}
+
+#[test]
+fn windowed_aggregate_over_a_live_graph() {
+    let input = events(&[
+        (10, 1, 1),
+        (20, 2, 10),
+        (90, 1, 2),
+        (110, 1, 100),
+        (250, 2, 1000),
+    ]);
+    let mut qb = QueryBuilder::new("agg");
+    let src = qb.source("src", IteratorSource::with_watermarks(input));
+    let sums = qb.aggregate(
+        "sum-per-key",
+        &src,
+        WindowSpec::tumbling(100).unwrap(),
+        |e: &Event| e.key,
+        |key, bounds, items: &[Event]| {
+            vec![(
+                *key,
+                bounds.index,
+                items.iter().map(|e| e.value).sum::<i64>(),
+            )]
+        },
+    );
+    let out = qb.collect_sink("out", &sums);
+    qb.build().unwrap().run().join().unwrap();
+    let got = out.take();
+    assert_eq!(got, vec![(1, 0, 3), (2, 0, 10), (1, 1, 100), (2, 2, 1000)]);
+}
+
+#[test]
+fn join_fuses_two_sources_on_key_and_time() {
+    let left = events(&[(100, 1, 1), (200, 1, 2), (300, 2, 3)]);
+    let right = events(&[(100, 1, -1), (205, 1, -2), (300, 3, -3)]);
+    let mut qb = QueryBuilder::new("join");
+    let l = qb.source("left", IteratorSource::with_watermarks(left));
+    let r = qb.source("right", IteratorSource::with_watermarks(right));
+    let joined = qb.join(
+        "join",
+        &l,
+        &r,
+        10,
+        |e: &Event| e.key,
+        |e: &Event| e.key,
+        |l: &Event, r: &Event| Some((l.value, r.value)),
+    );
+    let out = qb.collect_sink("out", &joined);
+    qb.build().unwrap().run().join().unwrap();
+    let mut got = out.take();
+    got.sort();
+    assert_eq!(got, vec![(1, -1), (2, -2)]);
+}
+
+#[test]
+fn union_merges_streams_and_watermarks() {
+    let a = events(&[(10, 1, 1), (30, 1, 3)]);
+    let b = events(&[(20, 2, 2), (40, 2, 4)]);
+    let mut qb = QueryBuilder::new("union");
+    let sa = qb.source("a", IteratorSource::with_watermarks(a));
+    let sb = qb.source("b", IteratorSource::with_watermarks(b));
+    let merged = qb.union("merge", &[sa, sb]);
+    // An aggregate downstream of the union only fires correctly if the
+    // union merged watermarks as the minimum across inputs.
+    let counts = qb.aggregate(
+        "count",
+        &merged,
+        WindowSpec::tumbling(100).unwrap(),
+        |_| 0u8,
+        |_, _, items: &[Event]| vec![items.len()],
+    );
+    let out = qb.collect_sink("out", &counts);
+    qb.build().unwrap().run().join().unwrap();
+    assert_eq!(out.take(), vec![4]);
+}
+
+#[test]
+fn parallel_operator_preserves_all_items() {
+    let n = 10_000u64;
+    let mut qb = QueryBuilder::new("parallel");
+    let src = qb.source("src", IteratorSource::new(0..n));
+    let doubled = qb.parallel_operator("double", &src, 4, RoutePolicy::RoundRobin, |_instance| {
+        strata_spe::operators::Map::new(|x: u64| x * 2)
+    });
+    let out = qb.collect_sink("out", &doubled);
+    qb.build().unwrap().run().join().unwrap();
+    let mut got = out.take();
+    got.sort_unstable();
+    let expected: Vec<u64> = (0..n).map(|x| x * 2).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn keyed_routing_keeps_groups_together() {
+    // Aggregate behind a by-key router: every instance must see whole
+    // key groups or counts would split.
+    let input: Vec<Event> = (0..1_000u64)
+        .map(|i| Event {
+            ts: i,
+            key: (i % 7) as u32,
+            value: 1,
+        })
+        .collect();
+    let mut qb = QueryBuilder::new("keyed");
+    let src = qb.source("src", IteratorSource::with_watermarks(input));
+    let counted = qb.parallel_operator(
+        "count",
+        &src,
+        3,
+        RoutePolicy::by_key(|e: &Event| e.key),
+        |_| {
+            strata_spe::operators::Aggregate::new(
+                WindowSpec::tumbling(1_000).unwrap(),
+                |e: &Event| e.key,
+                |key: &u32, _b, items: &[Event]| vec![(*key, items.len())],
+            )
+        },
+    );
+    let out = qb.collect_sink("out", &counted);
+    qb.build().unwrap().run().join().unwrap();
+    let mut got = out.take();
+    got.sort();
+    // 1000 items over 7 keys: keys 0..6 get 143, key 0 gets 143 (1000 = 7*142 + 6).
+    let expected: Vec<(u32, usize)> = (0..7u32)
+        .map(|k| (k, (0..1_000u64).filter(|i| i % 7 == k as u64).count()))
+        .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn fan_out_delivers_clones_to_every_branch() {
+    let mut qb = QueryBuilder::new("fanout");
+    let src = qb.source("src", IteratorSource::new(0u32..100));
+    let inc = qb.map("inc", &src, |x| x + 1);
+    let dec = qb.map("dec", &src, |x: u32| x.wrapping_sub(1));
+    let out_inc = qb.collect_sink("out-inc", &inc);
+    let out_dec = qb.collect_sink("out-dec", &dec);
+    qb.build().unwrap().run().join().unwrap();
+    assert_eq!(out_inc.len(), 100);
+    assert_eq!(out_dec.len(), 100);
+    assert_eq!(out_inc.take()[0], 1);
+}
+
+#[test]
+fn deep_pipelines_terminate_under_backpressure() {
+    // A tiny channel capacity forces constant blocking; the query must
+    // still complete and deliver everything.
+    let mut qb = QueryBuilder::new("backpressure");
+    qb.channel_capacity(2);
+    let src = qb.source("src", IteratorSource::new(0u64..5_000));
+    let mut s = src;
+    for depth in 0..8 {
+        s = qb.map(format!("stage-{depth}"), &s, |x: u64| x + 1);
+    }
+    let out = qb.collect_sink("out", &s);
+    qb.build().unwrap().run().join().unwrap();
+    let got = out.take();
+    assert_eq!(got.len(), 5_000);
+    assert_eq!(got[0], 8);
+    assert_eq!(*got.last().unwrap(), 5_007);
+}
+
+#[test]
+fn metrics_count_items_through_the_graph() {
+    let mut qb = QueryBuilder::new("metrics");
+    let src = qb.source("src", IteratorSource::new(0u32..50));
+    let kept = qb.filter("keep-half", &src, |x| x % 2 == 0);
+    let _out = qb.collect_sink("out", &kept);
+    let metrics = qb.build().unwrap().run().join().unwrap();
+    assert_eq!(metrics.node("src").unwrap().items_out(), 50);
+    assert_eq!(metrics.node("keep-half").unwrap().items_in(), 50);
+    assert_eq!(metrics.node("keep-half").unwrap().items_out(), 25);
+    assert_eq!(metrics.node("out").unwrap().items_in(), 25);
+}
+
+#[test]
+fn aggregate_emits_incrementally_as_watermarks_advance() {
+    // Results for early windows must not wait for end-of-stream: check
+    // the sink sees window 0's result while the source is still alive.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    struct Gated {
+        release: Arc<AtomicBool>,
+    }
+    impl strata_spe::Source for Gated {
+        type Out = Event;
+        fn run(&mut self, ctx: &mut SourceContext<Event>) -> std::result::Result<(), String> {
+            ctx.emit(Event {
+                ts: 10,
+                key: 0,
+                value: 1,
+            });
+            ctx.emit_watermark(Timestamp::from_millis(150));
+            // Hold the stream open until the test observed the early result.
+            while !self.release.load(Ordering::Relaxed) && !ctx.should_stop() {
+                std::thread::yield_now();
+            }
+            Ok(())
+        }
+    }
+
+    let release = Arc::new(AtomicBool::new(false));
+    let mut qb = QueryBuilder::new("incremental");
+    let src = qb.source(
+        "src",
+        Gated {
+            release: Arc::clone(&release),
+        },
+    );
+    let agg = qb.aggregate(
+        "agg",
+        &src,
+        WindowSpec::tumbling(100).unwrap(),
+        |_| 0u8,
+        |_, _, items: &[Event]| vec![items.len()],
+    );
+    let out = qb.collect_sink("out", &agg);
+    let running = qb.build().unwrap().run();
+    // The early window result must arrive while the source is gated.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while out.is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "window result did not arrive before end-of-stream"
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(out.snapshot(), vec![1]);
+    release.store(true, Ordering::Relaxed);
+    running.join().unwrap();
+}

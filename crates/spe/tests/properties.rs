@@ -1,0 +1,137 @@
+//! Property-based tests of the engine's core invariants.
+
+use proptest::prelude::*;
+use strata_spe::operator::UnaryOperator;
+use strata_spe::operators::aggregate::Aggregate;
+use strata_spe::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Item {
+    ts: u64,
+    key: u8,
+}
+
+impl Timestamped for Item {
+    fn timestamp(&self) -> Timestamp {
+        Timestamp::from_millis(self.ts)
+    }
+}
+
+proptest! {
+    /// Every tuple is covered by exactly the windows whose bounds
+    /// contain it, and the window count equals ⌈WS / WA⌉ in steady
+    /// state.
+    #[test]
+    fn window_assignment_matches_bounds(
+        size in 1u64..500,
+        advance_frac in 1u64..=100,
+        ts in 0u64..100_000,
+    ) {
+        let advance = (size * advance_frac / 100).max(1);
+        let spec = WindowSpec::sliding(size, advance).unwrap();
+        let t = Timestamp::from_millis(ts);
+        let assigned: Vec<u64> = spec.window_indexes(t).collect();
+        prop_assert!(!assigned.is_empty());
+        // Assigned ⇔ bounds contain the timestamp.
+        for idx in assigned.first().unwrap().saturating_sub(3)..assigned.last().unwrap() + 3 {
+            let (start, end) = spec.window_bounds(idx);
+            let covers = start <= t && t < end;
+            prop_assert_eq!(covers, assigned.contains(&idx), "idx {}", idx);
+        }
+        // Steady state: once past the first window, the count is
+        // ⌊WS/WA⌋ or ⌈WS/WA⌉ depending on alignment.
+        if ts >= size {
+            let count = assigned.len() as u64;
+            prop_assert!(
+                count == size / advance || count == size.div_ceil(advance),
+                "count {} outside [{}, {}]",
+                count,
+                size / advance,
+                size.div_ceil(advance)
+            );
+        }
+    }
+
+    /// The Aggregate operator neither loses nor duplicates tuples:
+    /// with a tumbling window and monotone watermarks, the sum of all
+    /// window counts equals the number of non-late inputs.
+    #[test]
+    fn aggregate_conserves_tuples(
+        timestamps in proptest::collection::vec(0u64..10_000, 1..200),
+        window in 1u64..1_000,
+    ) {
+        let spec = WindowSpec::tumbling(window).unwrap();
+        let mut agg = Aggregate::new(
+            spec,
+            |i: &Item| i.key,
+            |_k: &u8, _b, items: &[Item]| vec![items.len()],
+        );
+        let mut out: Vec<usize> = Vec::new();
+        // Feed in timestamp order so nothing is late.
+        let mut sorted = timestamps.clone();
+        sorted.sort_unstable();
+        for &ts in &sorted {
+            agg.on_item(Item { ts, key: (ts % 5) as u8 }, &mut out);
+        }
+        agg.on_end(&mut out);
+        let total: usize = out.iter().sum();
+        prop_assert_eq!(total, sorted.len());
+        prop_assert_eq!(agg.late_items(), 0);
+    }
+
+    /// Late tuples (behind the watermark) are dropped, never
+    /// delivered into closed windows.
+    #[test]
+    fn aggregate_never_revives_closed_windows(
+        early in proptest::collection::vec(0u64..500, 1..50),
+        late in proptest::collection::vec(0u64..500, 1..50),
+    ) {
+        let spec = WindowSpec::tumbling(100).unwrap();
+        let mut agg = Aggregate::new(
+            spec,
+            |_: &Item| (),
+            |_k: &(), b, items: &[Item]| vec![(b.index, items.len())],
+        );
+        let mut out: Vec<(u64, usize)> = Vec::new();
+        for &ts in &early {
+            agg.on_item(Item { ts, key: 0 }, &mut out);
+        }
+        // Close everything below 1000.
+        agg.on_watermark(Timestamp::from_millis(1_000), &mut out);
+        let closed: Vec<u64> = out.iter().map(|(idx, _)| *idx).collect();
+        for &ts in &late {
+            agg.on_item(Item { ts, key: 0 }, &mut out); // all < 500 < 1000 → late
+        }
+        agg.on_end(&mut out);
+        // No window index may appear twice.
+        let mut seen = std::collections::HashSet::new();
+        for (idx, _) in &out {
+            prop_assert!(seen.insert(*idx), "window {} emitted twice", idx);
+        }
+        prop_assert_eq!(agg.late_items(), late.len() as u64);
+        let _ = closed;
+    }
+
+    /// An end-to-end graph delivers every source item exactly once to
+    /// the sink regardless of channel capacity and operator count.
+    #[test]
+    fn linear_graphs_deliver_exactly_once(
+        n in 1usize..2_000,
+        capacity in 1usize..64,
+        stages in 0usize..4,
+    ) {
+        let mut qb = QueryBuilder::new("prop");
+        qb.channel_capacity(capacity);
+        let src = qb.source("src", IteratorSource::new(0..n as u64));
+        let mut stream = src;
+        for k in 0..stages {
+            stream = qb.map(format!("s{k}"), &stream, |x: u64| x + 1);
+        }
+        let out = qb.collect_sink("out", &stream);
+        qb.build().unwrap().run().join().unwrap();
+        let mut got = out.take();
+        got.sort_unstable();
+        let expected: Vec<u64> = (0..n as u64).map(|x| x + stages as u64).collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,90 @@
+//! Closing the loop (paper §1: "eventually enabling feedback loop
+//! control"): a decision policy watches the thermal-monitoring
+//! pipeline and *terminates the printing job* when a defect cluster
+//! grows beyond tolerance — exactly the
+//! continue / re-adjust / terminate choice of Figure 1B, automated.
+//!
+//! ```sh
+//! cargo run --release --example feedback_loop
+//! ```
+
+use std::sync::Arc;
+
+use strata::expert::{Decision, DecisionPolicy};
+use strata::usecase::thermal::{self, ThermalPipelineOptions};
+use strata::{Strata, StrataConfig};
+use strata_amsim::{MachineConfig, PbfLbMachine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A job doomed to develop a large defect: dense seeding on the
+    // gas-parallel orientation.
+    let machine = Arc::new(PbfLbMachine::new(
+        MachineConfig::paper_build(66)
+            .image_px(800)
+            .timing(120, 25)
+            .schedule(strata_amsim::scan::ScanSchedule::new(90.0, 67.0))
+            .defect_rate(3.0),
+    )?);
+
+    let strata = Strata::new(StrataConfig::default())?;
+    let (running, reports) = thermal::deploy_pipeline(
+        &strata,
+        Arc::clone(&machine),
+        ThermalPipelineOptions {
+            cell_px: 8,
+            depth_l: 30,
+            layers: 0..machine.layer_count(), // the whole job — unless we stop it
+            pace: 1.0,
+            ..ThermalPipelineOptions::default()
+        },
+    )?;
+
+    // The expert's "script/tool" (§3): adjust at 60 cells, abort at
+    // 150 cells or a defect deeper than 0.8 mm.
+    let mut monitor = DecisionPolicy::new()
+        .adjust_on_cluster_size(60)
+        .terminate_on_cluster_size(150)
+        .terminate_on_cluster_depth_mm(0.8)
+        .terminate_on_qos_misses(3)
+        .into_monitor();
+
+    let started = std::time::Instant::now();
+    let mut outcome = Decision::Continue;
+    while let Ok(report) = reports.recv_timeout(std::time::Duration::from_secs(60)) {
+        match monitor.observe(&report) {
+            Decision::Continue => {}
+            Decision::Adjust => {
+                let v = monitor.violations().last().unwrap();
+                println!(
+                    "layer {:>3}: ADJUST requested ({}) — e.g. raise laser power on specimen {:?}",
+                    v.layer, v.rule, v.specimen
+                );
+            }
+            Decision::Terminate => {
+                let v = monitor.violations().last().unwrap();
+                println!(
+                    "layer {:>3}: TERMINATE ({}) on specimen {:?} — aborting the job",
+                    v.layer, v.rule, v.specimen
+                );
+                outcome = Decision::Terminate;
+                break;
+            }
+        }
+    }
+
+    // Feedback: stop the machine's pipeline (in a real deployment,
+    // also the machine itself).
+    running.shutdown()?;
+    let layers_total = machine.layer_count();
+    println!(
+        "\noutcome: {outcome:?} after {:.1?}; job had {layers_total} layers — \
+         aborting early saved the remaining material and machine time",
+        started.elapsed(),
+    );
+    println!(
+        "policy log: {} violations, {} QoS misses",
+        monitor.violations().len(),
+        monitor.qos_misses()
+    );
+    Ok(())
+}

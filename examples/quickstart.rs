@@ -1,0 +1,59 @@
+//! Quickstart: the smallest useful STRATA pipeline.
+//!
+//! Simulates a few layers of a PBF-LB print, watches the OT images
+//! for unusually bright pixels, and prints one line per layer.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use strata::collector::OtImageCollector;
+use strata::{AmTuple, Strata, StrataConfig};
+use strata_amsim::{MachineConfig, PbfLbMachine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A simulated EOS M290-style machine: the paper's 12-specimen
+    // build, rendered at 500×500 px to keep the example snappy.
+    let machine = Arc::new(PbfLbMachine::new(
+        MachineConfig::paper_build(1).image_px(500).timing(200, 30),
+    )?);
+
+    let strata = Strata::new(StrataConfig::default())?;
+    let mut pipeline = strata.pipeline("quickstart");
+
+    // Raw Data Collector: one OT image per layer.
+    let ot = pipeline.add_source(
+        "ot",
+        OtImageCollector::new(Arc::clone(&machine)).layers(0..10),
+    );
+
+    // Event Monitor: count unusually hot pixels per layer.
+    let events = pipeline.detect_event("bright", &ot, |tuple: &AmTuple| {
+        let image = tuple.payload().image("image")?;
+        let bright = image.pixels().iter().filter(|&&p| p > 160).count();
+        let mut out = tuple.derive();
+        out.payload_mut().set_int("bright_pixels", bright as i64);
+        Some(vec![out])
+    });
+
+    // Deliver to the expert (this process).
+    let reports = pipeline.deliver("expert", &events);
+    let running = pipeline.deploy()?;
+
+    for _ in 0..10 {
+        let report = reports.recv_timeout(std::time::Duration::from_secs(30))?;
+        println!(
+            "layer {:>3}  bright_pixels={:>6}  latency={:>7.2?}  qos_met={}",
+            report.tuple.metadata().layer,
+            report.tuple.payload().int("bright_pixels").unwrap_or(0),
+            report.latency,
+            report.qos_met,
+        );
+    }
+
+    running.shutdown()?;
+    println!("done: 10 layers monitored");
+    Ok(())
+}

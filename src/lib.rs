@@ -1,0 +1,19 @@
+//! Umbrella crate for the STRATA reproduction workspace.
+//!
+//! This crate only re-exports the workspace members so that the
+//! repository-level `examples/` and `tests/` can reach every crate
+//! through a single dependency. The actual functionality lives in:
+//!
+//! * [`strata`] — the STRATA framework (the paper's contribution),
+//! * [`strata_spe`] — the stream processing engine substrate,
+//! * [`strata_pubsub`] — the pub/sub substrate,
+//! * [`strata_kv`] — the key-value store substrate,
+//! * [`strata_cluster`] — DBSCAN and baseline clustering,
+//! * [`strata_amsim`] — the PBF-LB machine / OT sensor simulator.
+
+pub use strata;
+pub use strata_amsim;
+pub use strata_cluster;
+pub use strata_kv;
+pub use strata_pubsub;
+pub use strata_spe;

@@ -1,0 +1,250 @@
+//! Cross-crate integration: the complete Algorithm-1 pipeline
+//! (simulator → collectors → connectors → monitor → aggregator →
+//! expert) validated against the simulator's ground truth.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use strata::usecase::thermal::{self, ThermalPipelineOptions};
+use strata::{ExpertReport, Strata, StrataConfig};
+use strata_amsim::{DefectKind, MachineConfig, PbfLbMachine};
+
+fn run_pipeline(
+    machine: Arc<PbfLbMachine>,
+    options: ThermalPipelineOptions,
+    expected_summaries: usize,
+) -> Vec<ExpertReport> {
+    let strata = Strata::new(StrataConfig::default()).unwrap();
+    let (running, reports) = thermal::deploy_pipeline(&strata, machine, options).unwrap();
+    let mut collected = Vec::new();
+    let mut summaries = 0;
+    while summaries < expected_summaries {
+        match reports.recv_timeout(Duration::from_secs(120)) {
+            Ok(report) => {
+                if report.tuple.payload().str("report") == Some("summary") {
+                    summaries += 1;
+                }
+                collected.push(report);
+            }
+            Err(_) => break,
+        }
+    }
+    running.shutdown().unwrap();
+    collected
+}
+
+#[test]
+fn detected_clusters_sit_on_seeded_defects() {
+    let machine = Arc::new(
+        PbfLbMachine::new(
+            MachineConfig::paper_build(11)
+                .image_px(1000)
+                .timing(40, 5)
+                .schedule(strata_amsim::scan::ScanSchedule::new(90.0, 67.0))
+                .defect_rate(1.5),
+        )
+        .unwrap(),
+    );
+    let reports = run_pipeline(
+        Arc::clone(&machine),
+        ThermalPipelineOptions {
+            cell_px: 5,
+            depth_l: 10,
+            layers: 0..10,
+            ..ThermalPipelineOptions::default()
+        },
+        8,
+    );
+    let clusters: Vec<_> = reports
+        .iter()
+        .filter(|r| r.tuple.payload().str("report") == Some("cluster"))
+        .collect();
+    assert!(!clusters.is_empty(), "defects must produce cluster reports");
+
+    // Every reported cluster centroid must lie near a ground-truth
+    // defect site of the same specimen that is active in the window.
+    let mm_tolerance = 3.0;
+    for cluster in &clusters {
+        let cx = cluster.tuple.payload().float("centroid_x_mm").unwrap();
+        let cy = cluster.tuple.payload().float("centroid_y_mm").unwrap();
+        let specimen = cluster.tuple.metadata().specimen.unwrap();
+        let near = machine.defects().iter().any(|d| {
+            d.specimen == specimen && (d.x_mm - cx).hypot(d.y_mm - cy) < d.radius_mm + mm_tolerance
+        });
+        assert!(
+            near,
+            "cluster at ({cx:.1}, {cy:.1}) mm on specimen {specimen} matches no seeded defect"
+        );
+    }
+
+    // And the defect kinds must be reflected: a hot defect produces
+    // hot members somewhere.
+    let has_hot_defect = machine
+        .defects()
+        .iter()
+        .any(|d| d.kind == DefectKind::Hot && d.start_layer < 10);
+    if has_hot_defect {
+        let hot_members: i64 = clusters
+            .iter()
+            .filter_map(|c| c.tuple.payload().int("hot_members"))
+            .sum();
+        assert!(hot_members > 0, "hot defects should yield hot members");
+    }
+}
+
+#[test]
+fn a_clean_build_reports_no_clusters() {
+    let machine = Arc::new(
+        PbfLbMachine::new(
+            MachineConfig::paper_build(12)
+                .image_px(400)
+                .timing(40, 5)
+                .defect_rate(0.0), // no seeded defects at all
+        )
+        .unwrap(),
+    );
+    let reports = run_pipeline(
+        machine,
+        ThermalPipelineOptions {
+            cell_px: 10,
+            depth_l: 10,
+            layers: 0..6,
+            ..ThermalPipelineOptions::default()
+        },
+        1,
+    );
+    let clusters = reports
+        .iter()
+        .filter(|r| r.tuple.payload().str("report") == Some("cluster"))
+        .count();
+    assert_eq!(clusters, 0, "clean build must not raise defect clusters");
+}
+
+#[test]
+fn latency_meets_the_qos_threshold_under_live_pacing() {
+    // The paper's headline claim: sub-second latency, well within the
+    // 3 s recoat gap. Uses live pacing so no queueing builds up.
+    let machine = Arc::new(
+        PbfLbMachine::new(
+            MachineConfig::paper_build(13)
+                .image_px(800)
+                .timing(150, 30)
+                .schedule(strata_amsim::scan::ScanSchedule::new(90.0, 67.0))
+                .defect_rate(1.5),
+        )
+        .unwrap(),
+    );
+    let reports = run_pipeline(
+        machine,
+        ThermalPipelineOptions {
+            cell_px: 10,
+            depth_l: 10,
+            layers: 0..8,
+            pace: 1.0,
+            ..ThermalPipelineOptions::default()
+        },
+        6,
+    );
+    assert!(!reports.is_empty());
+    for report in &reports {
+        assert!(
+            report.qos_met,
+            "latency {:?} violates the 3 s QoS threshold",
+            report.latency
+        );
+    }
+}
+
+#[test]
+fn parallel_and_serial_monitors_agree() {
+    let machine = Arc::new(
+        PbfLbMachine::new(
+            MachineConfig::paper_build(14)
+                .image_px(800)
+                .timing(40, 5)
+                .schedule(strata_amsim::scan::ScanSchedule::new(90.0, 67.0))
+                .defect_rate(1.5),
+        )
+        .unwrap(),
+    );
+    let summarize = |parallelism: usize| {
+        let reports = run_pipeline(
+            Arc::clone(&machine),
+            ThermalPipelineOptions {
+                cell_px: 8,
+                depth_l: 5,
+                layers: 0..6,
+                parallelism,
+                ..ThermalPipelineOptions::default()
+            },
+            5,
+        );
+        let mut events: Vec<(u32, Option<u32>, i64)> = reports
+            .iter()
+            .filter(|r| r.tuple.payload().str("report") == Some("summary"))
+            .map(|r| {
+                (
+                    r.tuple.metadata().layer,
+                    r.tuple.metadata().specimen,
+                    r.tuple.payload().int("event_count").unwrap_or(0),
+                )
+            })
+            .collect();
+        events.sort();
+        events
+    };
+    assert_eq!(summarize(1), summarize(4));
+}
+
+#[test]
+fn stable_ids_pipeline_reports_persistent_clusters() {
+    let machine = Arc::new(
+        PbfLbMachine::new(
+            MachineConfig::paper_build(15)
+                .image_px(800)
+                .timing(40, 5)
+                .schedule(strata_amsim::scan::ScanSchedule::new(90.0, 0.0))
+                .defect_rate(2.0),
+        )
+        .unwrap(),
+    );
+    let reports = run_pipeline(
+        Arc::clone(&machine),
+        ThermalPipelineOptions {
+            cell_px: 8,
+            depth_l: 10,
+            layers: 0..8,
+            stable_ids: true,
+            ..ThermalPipelineOptions::default()
+        },
+        // Several specimens report per layer: budget enough summaries
+        // to cover at least four full layers.
+        24,
+    );
+    // Collect tracked ids per (specimen, layer).
+    let mut per_specimen: std::collections::HashMap<u32, Vec<(u32, i64)>> = Default::default();
+    for r in &reports {
+        if r.tuple.payload().str("report") == Some("cluster") {
+            let id = r.tuple.payload().int("tracked_id").expect("tracked id");
+            per_specimen
+                .entry(r.tuple.metadata().specimen.unwrap())
+                .or_default()
+                .push((r.tuple.metadata().layer, id));
+        }
+    }
+    assert!(!per_specimen.is_empty(), "clusters were reported");
+    // At least one specimen shows the same id across several layers —
+    // a defect tracked while it grows.
+    let persistent = per_specimen.values().any(|entries| {
+        let mut by_id: std::collections::HashMap<i64, std::collections::BTreeSet<u32>> =
+            Default::default();
+        for (layer, id) in entries {
+            by_id.entry(*id).or_default().insert(*layer);
+        }
+        by_id.values().any(|layers| layers.len() >= 3)
+    });
+    assert!(
+        persistent,
+        "some cluster identity persists across ≥3 layers"
+    );
+}

@@ -1,0 +1,110 @@
+//! Integration: the geometry/recoater use-case detects injected
+//! faults and stays silent on clean builds.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use strata::collector::{OtImageCollector, PrintingParameterCollector};
+use strata::usecase::geometry::{footprint_monitor, streak_detector, GeometryOptions};
+use strata::usecase::thermal::isolate_specimen;
+use strata::{ExpertReport, Strata, StrataConfig};
+use strata_amsim::{MachineConfig, PbfLbMachine, RecoaterStreak};
+
+fn run_watch(machine: Arc<PbfLbMachine>, layers: u32) -> (Vec<ExpertReport>, Vec<ExpertReport>) {
+    let strata = Strata::new(StrataConfig::default()).unwrap();
+    let mut pipeline = strata.pipeline("geometry");
+    let ot = pipeline.add_source(
+        "OT",
+        OtImageCollector::new(Arc::clone(&machine)).layers(0..layers),
+    );
+    let pp = pipeline.add_source(
+        "pp",
+        PrintingParameterCollector::new(Arc::clone(&machine)).layers(0..layers),
+    );
+    let fused = pipeline.fuse("OT&pp", &ot, &pp);
+    let plate = machine.plan().plate_mm();
+    let streaks = pipeline.detect_event(
+        "streaks",
+        &fused,
+        streak_detector(plate, GeometryOptions::default()),
+    );
+    let spec = pipeline.partition("spec", &fused, isolate_specimen(plate));
+    let footprints = pipeline.detect_event(
+        "footprints",
+        &spec,
+        footprint_monitor(GeometryOptions::default()),
+    );
+    let streak_rx = pipeline.deliver("streak-expert", &streaks);
+    let footprint_rx = pipeline.deliver("footprint-expert", &footprints);
+    let running = pipeline.deploy().unwrap();
+    let collect = |rx: crossbeam::channel::Receiver<ExpertReport>| {
+        let mut out = Vec::new();
+        while let Ok(r) = rx.recv_timeout(Duration::from_secs(60)) {
+            out.push(r);
+        }
+        out
+    };
+    let streak_reports = collect(streak_rx);
+    let footprint_reports = collect(footprint_rx);
+    running.join().unwrap();
+    (streak_reports, footprint_reports)
+}
+
+fn machine(streak: Option<RecoaterStreak>) -> Arc<PbfLbMachine> {
+    let mut config = MachineConfig::paper_build(41)
+        .image_px(500)
+        .timing(30, 5)
+        .defect_rate(0.0); // isolate the geometry fault
+    if let Some(streak) = streak {
+        config = config.with_streak(streak);
+    }
+    Arc::new(PbfLbMachine::new(config).unwrap())
+}
+
+#[test]
+fn injected_streak_is_localized() {
+    let streak = RecoaterStreak {
+        x_mm: 130.0,
+        width_mm: 6.0,
+        start_layer: 3,
+        layer_span: 100,
+        attenuation: 0.35,
+    };
+    let (streak_reports, footprint_reports) = run_watch(machine(Some(streak)), 8);
+
+    // Streak events only on layers ≥ 3, localized within a couple mm.
+    assert!(!streak_reports.is_empty(), "streak must be detected");
+    for report in &streak_reports {
+        assert!(report.tuple.metadata().layer >= 3);
+        let x = report.tuple.payload().float("x_mm").unwrap();
+        let w = report.tuple.payload().float("width_mm").unwrap();
+        assert!((x - 130.0).abs() < 3.0, "x={x}");
+        assert!((w - 6.0).abs() < 3.0, "w={w}");
+    }
+    let layers_hit: std::collections::BTreeSet<u32> = streak_reports
+        .iter()
+        .map(|r| r.tuple.metadata().layer)
+        .collect();
+    assert_eq!(
+        layers_hit,
+        (3..8).collect(),
+        "every affected layer reported"
+    );
+
+    // The streak crosses specimens → their footprints under-melt.
+    assert!(
+        !footprint_reports.is_empty(),
+        "streaked specimens must fail the footprint check"
+    );
+    for report in &footprint_reports {
+        assert!(report.tuple.metadata().layer >= 3);
+        assert!(report.tuple.payload().float("melted_fraction").unwrap() < 0.97);
+    }
+}
+
+#[test]
+fn clean_build_raises_no_geometry_events() {
+    let (streak_reports, footprint_reports) = run_watch(machine(None), 5);
+    assert!(streak_reports.is_empty(), "{streak_reports:?}");
+    assert!(footprint_reports.is_empty(), "{footprint_reports:?}");
+}
