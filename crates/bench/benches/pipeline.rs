@@ -1,6 +1,7 @@
 //! Criterion end-to-end pipeline benchmarks: per-layer cost of the
 //! Algorithm-1 pipeline at two cell sizes, and the connector-mode
-//! ablation (pub/sub hop vs direct channels) from DESIGN.md.
+//! ablation (pub/sub hop vs direct channels vs a TCP broker server)
+//! from DESIGN.md.
 
 use std::time::Duration;
 
@@ -13,7 +14,7 @@ const LAYERS: u32 = 6;
 
 fn run_layers(mode: ConnectorMode, cell_px: u32) -> usize {
     let machine = bench_machine(7, BenchScale::Reduced);
-    let strata = Strata::new(StrataConfig::default().connector_mode(mode)).unwrap();
+    let strata = Strata::new(StrataConfig::default().connector_mode(mode.clone())).unwrap();
     let (running, reports) = thermal::deploy_pipeline(
         &strata,
         machine,
@@ -58,6 +59,25 @@ fn bench_connector_overhead(c: &mut Criterion) {
     });
     group.bench_function("direct", |b| {
         b.iter(|| run_layers(ConnectorMode::Direct, 10))
+    });
+    // Same pipeline, but every connector hop crosses a TCP broker
+    // server on loopback — the cost of going from in-process pub/sub
+    // to a real networked broker. A fresh server per iteration keeps
+    // topics and committed offsets from leaking across runs.
+    group.bench_function("tcp", |b| {
+        b.iter(|| {
+            let mut server =
+                strata_net::BrokerServer::bind("127.0.0.1:0", strata_pubsub::Broker::new())
+                    .unwrap();
+            let got = run_layers(
+                ConnectorMode::Remote {
+                    addr: server.local_addr().to_string(),
+                },
+                10,
+            );
+            server.shutdown();
+            got
+        })
     });
     group.finish();
 }

@@ -6,7 +6,7 @@ use std::time::Duration;
 use strata_pubsub::RetentionPolicy;
 
 /// How STRATA's modules exchange data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConnectorMode {
     /// The paper's architecture: modules run as separate queries
     /// bridged by pub/sub topics (the *Raw Data Connector* and
@@ -16,6 +16,15 @@ pub enum ConnectorMode {
     /// All modules fused into one query with direct channels —
     /// the ablation baseline quantifying the connector overhead.
     Direct,
+    /// Like [`PubSub`](ConnectorMode::PubSub), but the broker lives
+    /// in another process: connector topics are reached over TCP
+    /// through a `strata-net` broker server at `addr`. This is the
+    /// deployment the paper actually ran — connectors in a shared
+    /// Kafka cluster, modules on separate machines.
+    Remote {
+        /// Address of the broker server, e.g. `"10.0.0.5:9009"`.
+        addr: String,
+    },
 }
 
 /// Configuration of a [`Strata`](crate::Strata) instance, builder
@@ -110,7 +119,7 @@ impl StrataConfig {
 
     /// The configured connector mode.
     pub fn connector_mode_value(&self) -> ConnectorMode {
-        self.connector_mode
+        self.connector_mode.clone()
     }
 
     pub(crate) fn channel_capacity_value(&self) -> usize {
@@ -154,5 +163,18 @@ mod tests {
         assert_eq!(c.qos_threshold(), Duration::from_millis(500));
         assert_eq!(c.connector_mode_value(), ConnectorMode::Direct);
         assert_eq!(c.channel_capacity_value(), 1, "clamped");
+    }
+
+    #[test]
+    fn remote_mode_carries_the_address() {
+        let c = StrataConfig::default().connector_mode(ConnectorMode::Remote {
+            addr: "127.0.0.1:9009".into(),
+        });
+        assert_eq!(
+            c.connector_mode_value(),
+            ConnectorMode::Remote {
+                addr: "127.0.0.1:9009".into()
+            }
+        );
     }
 }

@@ -10,41 +10,59 @@
 
 use std::time::Duration;
 
+use strata_net::RemoteConsumer;
 use strata_pubsub::{Consumer, Producer, Record};
 use strata_spe::{Element, Source, SourceContext};
 
 use crate::codec::{self, ConnectorMessage};
 use crate::tuple::AmTuple;
 
+/// Encodes a stream element as a connector-topic record. Keyed by
+/// `job:layer` so a future multi-partition layout would keep
+/// per-layer order.
+fn connector_record(element: Element<AmTuple>) -> Record {
+    let message = match element {
+        Element::Item(tuple) => ConnectorMessage::Tuple(tuple),
+        Element::Watermark(ts) => ConnectorMessage::Watermark(ts),
+        Element::End => ConnectorMessage::End,
+    };
+    let key = match &message {
+        ConnectorMessage::Tuple(t) => {
+            format!("{}:{}", t.metadata().job, t.metadata().layer)
+        }
+        _ => "control".to_string(),
+    };
+    let timestamp = match &message {
+        ConnectorMessage::Tuple(t) => t.metadata().timestamp.as_millis(),
+        ConnectorMessage::Watermark(ts) => ts.as_millis(),
+        ConnectorMessage::End => 0,
+    };
+    Record::new(Some(key.into_bytes()), codec::encode(&message)).with_timestamp(timestamp)
+}
+
 /// Builds the element-sink callback that republishes a stream into
-/// `topic`. Keyed by `job:layer` so a future multi-partition layout
-/// would keep per-layer order.
+/// `topic` of the in-process broker.
 pub fn publisher(
     producer: Producer,
     topic: String,
 ) -> impl FnMut(Element<AmTuple>) + Send + 'static {
     move |element| {
-        let message = match element {
-            Element::Item(tuple) => ConnectorMessage::Tuple(tuple),
-            Element::Watermark(ts) => ConnectorMessage::Watermark(ts),
-            Element::End => ConnectorMessage::End,
-        };
-        let key = match &message {
-            ConnectorMessage::Tuple(t) => {
-                format!("{}:{}", t.metadata().job, t.metadata().layer)
-            }
-            _ => "control".to_string(),
-        };
-        let timestamp = match &message {
-            ConnectorMessage::Tuple(t) => t.metadata().timestamp.as_millis(),
-            ConnectorMessage::Watermark(ts) => ts.as_millis(),
-            ConnectorMessage::End => 0,
-        };
-        let record =
-            Record::new(Some(key.into_bytes()), codec::encode(&message)).with_timestamp(timestamp);
         // A send can only fail if the topic was deleted mid-run;
         // dropping the element then matches "subscriber gone".
-        let _ = producer.send_record(&topic, record);
+        let _ = producer.send_record(&topic, connector_record(element));
+    }
+}
+
+/// Builds the element-sink callback that republishes a stream into
+/// `topic` of a remote broker over TCP. Transient transport failures
+/// are retried by the producer's reliability layer; elements that
+/// still fail are dropped, like a deleted local topic.
+pub fn remote_publisher(
+    mut producer: strata_net::RemoteProducer,
+    topic: String,
+) -> impl FnMut(Element<AmTuple>) + Send + 'static {
+    move |element| {
+        let _ = producer.send_record(&topic, connector_record(element));
     }
 }
 
@@ -105,6 +123,78 @@ impl Source for TopicSource {
                     ConnectorMessage::End => return Ok(()),
                 }
             }
+        }
+    }
+}
+
+/// An SPE [`Source`] feeding a downstream module from a connector
+/// topic that lives across a TCP connection. The remote consumer
+/// commits its offsets after every delivered batch, so a restarted
+/// module resumes from the last batch it fully handed to the engine.
+pub struct RemoteTopicSource {
+    consumer: RemoteConsumer,
+    poll_timeout: Duration,
+}
+
+impl std::fmt::Debug for RemoteTopicSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteTopicSource")
+            .field("consumer", &self.consumer)
+            .finish()
+    }
+}
+
+impl RemoteTopicSource {
+    /// Wraps a connected remote consumer.
+    pub fn new(consumer: RemoteConsumer, poll_timeout: Duration) -> Self {
+        RemoteTopicSource {
+            consumer,
+            poll_timeout,
+        }
+    }
+}
+
+impl Source for RemoteTopicSource {
+    type Out = AmTuple;
+
+    fn run(&mut self, ctx: &mut SourceContext<AmTuple>) -> Result<(), String> {
+        loop {
+            if ctx.should_stop() {
+                let _ = self.consumer.commit();
+                return Ok(());
+            }
+            let records = self
+                .consumer
+                .poll(self.poll_timeout)
+                .map_err(|e| format!("remote connector poll failed: {e}"))?;
+            if records.is_empty() {
+                continue;
+            }
+            for polled in records {
+                match codec::decode(&polled.record.value)
+                    .map_err(|e| format!("remote connector decode failed: {e}"))?
+                {
+                    ConnectorMessage::Tuple(tuple) => {
+                        if !ctx.emit(tuple) {
+                            let _ = self.consumer.commit();
+                            return Ok(());
+                        }
+                    }
+                    ConnectorMessage::Watermark(ts) => {
+                        if !ctx.emit_watermark(ts) {
+                            let _ = self.consumer.commit();
+                            return Ok(());
+                        }
+                    }
+                    ConnectorMessage::End => {
+                        let _ = self.consumer.commit();
+                        return Ok(());
+                    }
+                }
+            }
+            // Batch fully handed to the engine: make it the resume
+            // point for a successor or a reconnect.
+            let _ = self.consumer.commit();
         }
     }
 }
@@ -182,5 +272,33 @@ mod tests {
             qb.build().unwrap().run().join().unwrap();
             assert_eq!(out.len(), 1, "group {group}");
         }
+    }
+
+    #[test]
+    fn remote_bridge_round_trips_over_tcp() {
+        let broker = Broker::new();
+        broker.create_topic("bridge", TopicConfig::new(1)).unwrap();
+        let mut server = strata_net::BrokerServer::bind("127.0.0.1:0", broker).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let producer = strata_net::RemoteProducer::connect(&addr).unwrap();
+        let mut publish = remote_publisher(producer, "bridge".into());
+        let t = AmTuple::new(Timestamp::from_millis(10), 1, 0);
+        publish(Element::Item(t.clone()));
+        publish(Element::Watermark(Timestamp::from_millis(11)));
+        publish(Element::End);
+
+        let consumer = RemoteConsumer::connect(&addr, "g", &["bridge"]).unwrap();
+        let mut qb = QueryBuilder::new("sub");
+        let src = qb.source(
+            "in",
+            RemoteTopicSource::new(consumer, Duration::from_millis(10)),
+        );
+        let out = qb.collect_sink("out", &src);
+        qb.build().unwrap().run().join().unwrap();
+        let got = out.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].metadata(), t.metadata());
+        server.shutdown();
     }
 }

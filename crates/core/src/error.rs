@@ -18,6 +18,8 @@ pub enum Error {
     Spe(strata_spe::Error),
     /// The pub/sub layer reported an error.
     PubSub(strata_pubsub::Error),
+    /// The TCP transport to a remote broker reported an error.
+    Net(strata_net::NetError),
     /// The key-value store reported an error.
     Kv(strata_kv::Error),
     /// The clustering library rejected its parameters.
@@ -33,6 +35,7 @@ impl fmt::Display for Error {
             Error::Codec(msg) => write!(f, "tuple codec failure: {msg}"),
             Error::Spe(err) => write!(f, "stream engine: {err}"),
             Error::PubSub(err) => write!(f, "pub/sub: {err}"),
+            Error::Net(err) => write!(f, "broker transport: {err}"),
             Error::Kv(err) => write!(f, "key-value store: {err}"),
             Error::Cluster(err) => write!(f, "clustering: {err}"),
             Error::Sim(err) => write!(f, "simulator: {err}"),
@@ -45,6 +48,7 @@ impl std::error::Error for Error {
         match self {
             Error::Spe(err) => Some(err),
             Error::PubSub(err) => Some(err),
+            Error::Net(err) => Some(err),
             Error::Kv(err) => Some(err),
             Error::Cluster(err) => Some(err),
             Error::Sim(err) => Some(err),
@@ -62,6 +66,18 @@ impl From<strata_spe::Error> for Error {
 impl From<strata_pubsub::Error> for Error {
     fn from(err: strata_pubsub::Error) -> Self {
         Error::PubSub(err)
+    }
+}
+
+impl From<strata_net::NetError> for Error {
+    fn from(err: strata_net::NetError) -> Self {
+        // A broker-side failure relayed over the wire is a pub/sub
+        // error wherever it surfaces; only transport-layer failures
+        // stay in the Net variant.
+        match err {
+            strata_net::NetError::Broker(inner) => Error::PubSub(inner),
+            other => Error::Net(other),
+        }
     }
 }
 

@@ -24,8 +24,11 @@ use strata_spe::operator::UnaryOperator;
 use strata_spe::operators::{FlatMap, RoutePolicy};
 use strata_spe::{QueryBuilder, QueryMetrics, RunningQuery, Source, Stream, Timestamp};
 
+use strata_net::{NetError, RemoteConsumer, RemoteProducer};
+use strata_spe::Element;
+
 use crate::config::{ConnectorMode, StrataConfig};
-use crate::connector::{publisher, TopicSource};
+use crate::connector::{publisher, remote_publisher, RemoteTopicSource, TopicSource};
 use crate::error::{Error, Result};
 use crate::report::ExpertReport;
 use crate::tuple::AmTuple;
@@ -225,8 +228,17 @@ impl PipelineBuilder {
         collector.channel_capacity(config.channel_capacity_value());
         monitor.channel_capacity(config.channel_capacity_value());
         aggregator.channel_capacity(config.channel_capacity_value());
+        // With a remote broker the topic namespace is shared by every
+        // process pointed at the same server, so the per-instance
+        // prefix also carries the process id.
+        let topic_prefix = match config.connector_mode_value() {
+            ConnectorMode::Remote { .. } => {
+                format!("strata.{name}.p{}.{instance}", std::process::id())
+            }
+            _ => format!("strata.{name}.{instance}"),
+        };
         PipelineBuilder {
-            topic_prefix: format!("strata.{name}.{instance}"),
+            topic_prefix,
             name,
             config,
             broker,
@@ -270,7 +282,7 @@ impl PipelineBuilder {
                     stream,
                 }
             }
-            ConnectorMode::PubSub => {
+            ConnectorMode::PubSub | ConnectorMode::Remote { .. } => {
                 let raw = self.collector.source(name.to_string(), source);
                 self.collector_nodes += 1;
                 let stream = self.bridge(raw, &format!("raw.{name}"), Module::Monitor, true);
@@ -285,7 +297,8 @@ impl PipelineBuilder {
 
     /// Publishes `upstream` into a connector topic and subscribes the
     /// target module to it. `from_collector` picks the upstream query
-    /// and retention policy.
+    /// and retention policy. In [`ConnectorMode::Remote`] the topic
+    /// lives on the broker server and both ends cross the wire.
     fn bridge(
         &mut self,
         upstream: Stream<AmTuple>,
@@ -299,15 +312,31 @@ impl PipelineBuilder {
         } else {
             self.config.event_retention_value()
         };
-        if let Err(err) = self.broker.create_topic(
-            &topic,
-            TopicConfig::new(1)
-                .with_log(LogKind::Memory)
-                .with_retention(retention),
-        ) {
-            self.errors.push(err.into());
-        }
-        let publish = publisher(self.broker.producer(), topic.clone());
+        let mode = self.config.connector_mode_value();
+
+        // Create the topic where it lives and build the publishing
+        // half of the bridge.
+        let publish: Box<dyn FnMut(Element<AmTuple>) + Send> = match &mode {
+            ConnectorMode::Remote { addr } => match self.remote_producer(addr, &topic) {
+                Ok(producer) => Box::new(remote_publisher(producer, topic.clone())),
+                Err(err) => {
+                    self.errors.push(err);
+                    // Sink to nowhere; deploy fails with the error.
+                    Box::new(|_| {})
+                }
+            },
+            _ => {
+                if let Err(err) = self.broker.create_topic(
+                    &topic,
+                    TopicConfig::new(1)
+                        .with_log(LogKind::Memory)
+                        .with_retention(retention),
+                ) {
+                    self.errors.push(err.into());
+                }
+                Box::new(publisher(self.broker.producer(), topic.clone()))
+            }
+        };
         if from_collector {
             self.collector
                 .element_sink(format!("publish.{label}"), &upstream, publish);
@@ -318,22 +347,67 @@ impl PipelineBuilder {
             self.monitor_nodes += 1;
             self.monitor_sinks += 1;
         }
+
+        // Subscribe the target module.
         let group = format!("{}.{label}.sub", self.topic_prefix);
-        let source = match self.broker.consumer(group, &[&topic]) {
-            Ok(consumer) => TopicSource::new(consumer, self.config.poll_timeout_value()),
-            Err(err) => {
-                self.errors.push(err.into());
-                // Placeholder consumer on a fresh topic so building
-                // can continue; deploy will fail with the error above.
-                let fallback = format!("{topic}.invalid");
-                let _ = self.broker.create_topic(&fallback, TopicConfig::new(1));
-                let consumer = self
-                    .broker
-                    .consumer(format!("{topic}.invalid.g"), &[&fallback])
-                    .expect("fresh fallback topic exists");
-                TopicSource::new(consumer, self.config.poll_timeout_value())
+        match &mode {
+            ConnectorMode::Remote { addr } => {
+                match RemoteConsumer::connect(addr.clone(), group, &[&topic]) {
+                    Ok(consumer) => {
+                        let source =
+                            RemoteTopicSource::new(consumer, self.config.poll_timeout_value());
+                        self.attach_bridge_source(label, target, source)
+                    }
+                    Err(err) => {
+                        self.errors.push(err.into());
+                        let source = self.fallback_source(&topic);
+                        self.attach_bridge_source(label, target, source)
+                    }
+                }
             }
-        };
+            _ => {
+                let source = match self.broker.consumer(group, &[&topic]) {
+                    Ok(consumer) => TopicSource::new(consumer, self.config.poll_timeout_value()),
+                    Err(err) => {
+                        self.errors.push(err.into());
+                        self.fallback_source(&topic)
+                    }
+                };
+                self.attach_bridge_source(label, target, source)
+            }
+        }
+    }
+
+    /// Connects a producer to the remote broker and ensures `topic`
+    /// exists there. `TopicExists` is fine: with several machine
+    /// processes sharing one broker server, whoever binds first wins.
+    /// (Remote topics keep the server's retention defaults — the
+    /// per-pipeline retention config only governs in-process topics.)
+    fn remote_producer(&self, addr: &str, topic: &str) -> Result<RemoteProducer> {
+        let mut producer = RemoteProducer::connect(addr.to_string())?;
+        match producer.client_mut().create_topic(topic, 1) {
+            Ok(()) | Err(NetError::Broker(strata_pubsub::Error::TopicExists(_))) => Ok(producer),
+            Err(err) => Err(err.into()),
+        }
+    }
+
+    /// Placeholder consumer on a fresh local topic so building can
+    /// continue after a connector error; deploy fails with the error
+    /// recorded alongside.
+    fn fallback_source(&mut self, topic: &str) -> TopicSource {
+        let fallback = format!("{topic}.invalid");
+        let _ = self.broker.create_topic(&fallback, TopicConfig::new(1));
+        let consumer = self
+            .broker
+            .consumer(format!("{topic}.invalid.g"), &[&fallback])
+            .expect("fresh fallback topic exists");
+        TopicSource::new(consumer, self.config.poll_timeout_value())
+    }
+
+    fn attach_bridge_source<S>(&mut self, label: &str, target: Module, source: S) -> Stream<AmTuple>
+    where
+        S: Source<Out = AmTuple> + 'static,
+    {
         match target {
             Module::Monitor => {
                 let s = self.monitor.source(format!("subscribe.{label}"), source);
@@ -563,38 +637,35 @@ impl PipelineBuilder {
                 input.stage
             ));
         }
-        let bridged = match self.config.connector_mode_value() {
-            ConnectorMode::PubSub => {
-                if input.module != Module::Monitor {
-                    self.fail("correlateEvents input must come from the Event Monitor");
-                }
-                self.bridge(
-                    input.stream,
-                    &format!("events.{name}"),
-                    Module::Aggregator,
-                    false,
-                )
+        let fused = matches!(self.config.connector_mode_value(), ConnectorMode::Direct);
+        let bridged = if fused {
+            input.stream
+        } else {
+            if input.module != Module::Monitor {
+                self.fail("correlateEvents input must come from the Event Monitor");
             }
-            ConnectorMode::Direct => input.stream,
+            self.bridge(
+                input.stream,
+                &format!("events.{name}"),
+                Module::Aggregator,
+                false,
+            )
         };
         let op = Correlate::new(depth_l, f);
-        let stream = match self.config.connector_mode_value() {
-            ConnectorMode::PubSub => {
-                let s = self.aggregator.operator(name.to_string(), &bridged, op);
-                self.aggregator_nodes += 1;
-                s
-            }
-            ConnectorMode::Direct => {
-                let s = self.monitor.operator(name.to_string(), &bridged, op);
-                self.monitor_nodes += 1;
-                s
-            }
+        let stream = if fused {
+            let s = self.monitor.operator(name.to_string(), &bridged, op);
+            self.monitor_nodes += 1;
+            s
+        } else {
+            let s = self.aggregator.operator(name.to_string(), &bridged, op);
+            self.aggregator_nodes += 1;
+            s
         };
         AmStream {
-            module: if self.config.connector_mode_value() == ConnectorMode::PubSub {
-                Module::Aggregator
-            } else {
+            module: if fused {
                 Module::Monitor
+            } else {
+                Module::Aggregator
             },
             stage: Stage::Correlated,
             stream,

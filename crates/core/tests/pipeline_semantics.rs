@@ -45,8 +45,15 @@ fn drain(rx: Receiver<ExpertReport>) -> Vec<AmTuple> {
 
 #[test]
 fn correlate_window_spans_exactly_l_plus_one_layers() {
-    for mode in [ConnectorMode::PubSub, ConnectorMode::Direct] {
-        let strata = Strata::new(StrataConfig::default().connector_mode(mode)).unwrap();
+    // Remote mode runs the same pipeline with its connector topics on
+    // a TCP broker server instead of the in-process broker.
+    let mut server =
+        strata_net::BrokerServer::bind("127.0.0.1:0", strata_pubsub::Broker::new()).unwrap();
+    let remote = ConnectorMode::Remote {
+        addr: server.local_addr().to_string(),
+    };
+    for mode in [ConnectorMode::PubSub, ConnectorMode::Direct, remote] {
+        let strata = Strata::new(StrataConfig::default().connector_mode(mode.clone())).unwrap();
         let mut pipeline = strata.pipeline("span");
         // One event per layer 0..6, watermark after each layer.
         let steps: Vec<(AmTuple, u64)> = (0..6u32)
@@ -84,6 +91,7 @@ fn correlate_window_spans_exactly_l_plus_one_layers() {
             );
         }
     }
+    server.shutdown();
 }
 
 #[test]

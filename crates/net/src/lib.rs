@@ -1,0 +1,31 @@
+//! strata-net: a TCP transport for the strata pub/sub broker.
+//!
+//! Turns the in-process [`strata_pubsub::Broker`] into a networked
+//! broker. The crate is layered like the in-process stack it mirrors:
+//!
+//! - [`protocol`] — request/response message types and their
+//!   CRC-framed binary encoding (extends the `strata-pubsub` wire
+//!   format to the network).
+//! - [`codec`] — length-prefixed, CRC-checked frame I/O over any
+//!   `Read`/`Write` transport.
+//! - [`server`] — [`server::BrokerServer`]: a thread-per-connection
+//!   TCP front end over an `Arc<Broker>` with graceful shutdown.
+//! - [`client`] — [`client::RemoteProducer`] / [`client::RemoteConsumer`],
+//!   mirroring the in-process `Producer` / `Consumer` APIs.
+//! - [`retry`] — bounded exponential backoff with jitter, shared by
+//!   the client reliability layer.
+//! - [`error`] — transport error type, convertible from and into the
+//!   broker's [`strata_pubsub::Error`].
+
+pub mod client;
+pub mod codec;
+pub mod error;
+pub mod protocol;
+pub mod retry;
+pub mod server;
+
+pub use client::{BrokerClient, ClientConfig, RemoteConsumer, RemoteProducer};
+pub use error::{NetError, NetResult};
+pub use protocol::{ErrorCode, Request, Response};
+pub use retry::RetryPolicy;
+pub use server::{BrokerServer, ServerConfig};

@@ -275,6 +275,48 @@ impl Broker {
         Ok(Consumer::register(Arc::clone(&self.inner), group, names))
     }
 
+    /// Reads up to `max_records` records of `topic`/`partition`
+    /// starting at `offset`, without any group bookkeeping. This is
+    /// the server-side read primitive of the TCP transport
+    /// (`strata-net`), whose consumers track their own positions.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownTopic`] / [`Error::UnknownPartition`], or
+    /// [`Error::OffsetOutOfRange`] when `offset` lies outside
+    /// `[start, end]` (reading exactly at `end` returns an empty
+    /// batch).
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max_records: usize,
+    ) -> Result<Vec<crate::record::StoredRecord>> {
+        self.inner
+            .topic(topic)?
+            .read(partition, offset, max_records)
+    }
+
+    /// Commits `offset` as the resume point of `(group, topic,
+    /// partition)`, creating the group if it does not exist. Remote
+    /// consumers commit through this instead of holding a group
+    /// membership: their partition assignment lives client-side.
+    pub fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) {
+        let mut groups = self.inner.groups.lock();
+        let state = groups.entry(group.to_string()).or_default();
+        state.offsets.insert((topic.to_string(), partition), offset);
+    }
+
+    /// Blocks until a producer appends somewhere in the broker or
+    /// `timeout` elapses. `seen` carries the caller's append-counter
+    /// state between calls (start at 0); a change means data may be
+    /// available. Long-polling reads (the TCP transport's `Fetch`
+    /// with a wait budget) are built on this.
+    pub fn wait_for_appends(&self, seen: &mut u64, timeout: Duration) {
+        self.inner.wait_for_data(seen, timeout);
+    }
+
     /// The committed offset of `(group, topic, partition)`, if any.
     pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
         self.inner
@@ -377,6 +419,61 @@ mod tests {
         producer.send("t", Some(&[7]), vec![7]).unwrap();
         assert_eq!(broker.consumer_lag("g", "t").unwrap(), 1);
         assert!(broker.consumer_lag("g", "missing").is_err());
+    }
+
+    #[test]
+    fn fetch_reads_without_group_state() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(1)).unwrap();
+        let producer = broker.producer();
+        for n in 0..4u8 {
+            producer.send("t", None, vec![n]).unwrap();
+        }
+        let batch = broker.fetch("t", 0, 1, 2).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].offset, 1);
+        // Reading at the end is an empty batch, past it an error.
+        assert!(broker.fetch("t", 0, 4, 10).unwrap().is_empty());
+        assert!(matches!(
+            broker.fetch("t", 0, 5, 10),
+            Err(Error::OffsetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn commit_offset_creates_group_state() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(1)).unwrap();
+        assert_eq!(broker.committed_offset("g", "t", 0), None);
+        broker.commit_offset("g", "t", 0, 7);
+        assert_eq!(broker.committed_offset("g", "t", 0), Some(7));
+        // A committed offset bounds consumer lag like any other.
+        let producer = broker.producer();
+        for n in 0..10u8 {
+            producer.send("t", None, vec![n]).unwrap();
+        }
+        assert_eq!(broker.consumer_lag("g", "t").unwrap(), 3);
+    }
+
+    #[test]
+    fn wait_for_appends_wakes_on_produce() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::new(1)).unwrap();
+        let producer = broker.producer();
+        let waiter = broker.clone();
+        let handle = std::thread::spawn(move || {
+            let mut seen = 0;
+            let start = std::time::Instant::now();
+            waiter.wait_for_appends(&mut seen, Duration::from_secs(5));
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        producer.send("t", None, "x").unwrap();
+        let waited = handle.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(4),
+            "woke early, not by timeout"
+        );
     }
 
     #[test]

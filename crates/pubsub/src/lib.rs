@@ -41,6 +41,7 @@
 //! ```
 
 pub mod broker;
+pub mod checksum;
 pub mod consumer;
 pub mod error;
 pub mod log;

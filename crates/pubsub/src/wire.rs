@@ -24,33 +24,7 @@ use crate::record::{Record, StoredRecord};
 /// Marker for "no key" in the key-length field.
 const NO_KEY: u32 = u32::MAX;
 
-/// Computes the IEEE CRC-32 checksum of `data`.
-///
-/// Implemented locally (table-driven, reflected polynomial
-/// `0xEDB88320`) to keep the crate dependency-free.
-pub fn crc32(data: &[u8]) -> u32 {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, entry) in table.iter_mut().enumerate() {
-            let mut crc = i as u32;
-            for _ in 0..8 {
-                crc = if crc & 1 != 0 {
-                    (crc >> 1) ^ 0xEDB8_8320
-                } else {
-                    crc >> 1
-                };
-            }
-            *entry = crc;
-        }
-        table
-    });
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
-        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+pub use crate::checksum::crc32;
 
 fn put_u16(buf: &mut Vec<u8>, v: u16) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -219,13 +193,6 @@ mod tests {
                 .with_timestamp(123)
                 .with_header("layer", vec![9u8]),
         }
-    }
-
-    #[test]
-    fn crc32_matches_known_vectors() {
-        // Standard test vector for CRC-32/IEEE.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

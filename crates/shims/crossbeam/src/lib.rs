@@ -1,0 +1,8 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the subset the workspace uses — `crossbeam::channel` with
+//! bounded/unbounded MPMC channels, blocking/timed/non-blocking
+//! receive, iteration, and a heterogeneous [`channel::Select`] — all
+//! implemented over `std::sync` primitives.
+
+pub mod channel;

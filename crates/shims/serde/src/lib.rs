@@ -1,0 +1,256 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only ever serializes benchmark-result structs to
+//! pretty-printed JSON, so this shim collapses serde's data model to
+//! exactly that: a [`Serialize`] trait that writes into a JSON
+//! [`Serializer`], plus a `#[derive(Serialize)]` macro (from the
+//! sibling `serde_derive` shim) for plain structs with named fields.
+
+pub use serde_derive::Serialize;
+
+/// A pretty-printing JSON writer (2-space indent, `serde_json`
+/// style).
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: String,
+    depth: usize,
+    /// Number of items written at each open container level, to
+    /// place commas and render empty containers as `{}` / `[]`.
+    items: Vec<usize>,
+}
+
+impl Serializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        Serializer::default()
+    }
+
+    /// Consumes the serializer, returning the JSON text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Starts a container item: separating comma + indentation.
+    fn begin_item(&mut self) {
+        if let Some(count) = self.items.last_mut() {
+            if *count > 0 {
+                self.out.push(',');
+            }
+            *count += 1;
+            self.newline_indent();
+        }
+    }
+
+    /// Writes a raw JSON scalar token.
+    pub fn scalar(&mut self, token: &str) {
+        self.out.push_str(token);
+    }
+
+    /// Writes a JSON string with escaping.
+    pub fn string(&mut self, value: &str) {
+        self.out.push('"');
+        for ch in value.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Opens a JSON object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.items.push(0);
+    }
+
+    /// Writes one `"name": value` member of the open object.
+    pub fn field(&mut self, name: &str, value: &dyn Serialize) {
+        self.begin_item();
+        self.string(name);
+        self.out.push_str(": ");
+        value.serialize(self);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        let wrote = self.items.pop().unwrap_or(0);
+        self.depth -= 1;
+        if wrote > 0 {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens a JSON array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.items.push(0);
+    }
+
+    /// Writes one element of the open array.
+    pub fn element(&mut self, value: &dyn Serialize) {
+        self.begin_item();
+        value.serialize(self);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        let wrote = self.items.pop().unwrap_or(0);
+        self.depth -= 1;
+        if wrote > 0 {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+}
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Writes `self` into the serializer.
+    fn serialize(&self, serializer: &mut Serializer);
+}
+
+macro_rules! serialize_display {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, serializer: &mut Serializer) {
+                serializer.scalar(&self.to_string());
+            }
+        }
+    )*};
+}
+
+serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    fn serialize(&self, serializer: &mut Serializer) {
+        if self.is_finite() {
+            serializer.scalar(&format!("{self:?}"));
+        } else {
+            serializer.scalar("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, serializer: &mut Serializer) {
+        (*self as f64).serialize(serializer);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, serializer: &mut Serializer) {
+        (**self).serialize(serializer);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        (**self).serialize(serializer);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        match self {
+            Some(value) => value.serialize(serializer),
+            None => serializer.scalar("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_array();
+        for item in self {
+            serializer.element(item);
+        }
+        serializer.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        self.as_slice().serialize(serializer);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, serializer: &mut Serializer) {
+        self.as_slice().serialize(serializer);
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize(&self, serializer: &mut Serializer) {
+        serializer.begin_object();
+        for (key, value) in self {
+            serializer.field(key, value);
+        }
+        serializer.end_object();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        let mut s = Serializer::new();
+        42u32.serialize(&mut s);
+        assert_eq!(s.into_string(), "42");
+        let mut s = Serializer::new();
+        "a\"b\n".serialize(&mut s);
+        assert_eq!(s.into_string(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn arrays_pretty_print() {
+        let mut s = Serializer::new();
+        vec![1u8, 2].serialize(&mut s);
+        assert_eq!(s.into_string(), "[\n  1,\n  2\n]");
+        let mut s = Serializer::new();
+        Vec::<u8>::new().serialize(&mut s);
+        assert_eq!(s.into_string(), "[]");
+    }
+
+    #[test]
+    fn objects_pretty_print() {
+        let mut s = Serializer::new();
+        s.begin_object();
+        s.field("a", &1u8);
+        s.field("b", &"x");
+        s.end_object();
+        assert_eq!(s.into_string(), "{\n  \"a\": 1,\n  \"b\": \"x\"\n}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Supports `#[derive(Serialize)]` on plain, non-generic structs with
+//! named fields — the only shape the workspace derives on. The input
+//! token stream is parsed by hand (no `syn`/`quote`, which are not
+//! available offline) and the impl is emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct, emitting one
+/// JSON object member per field, in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok((name, fields)) => {
+            let mut body = String::new();
+            for field in &fields {
+                body.push_str(&format!("serializer.field({field:?}, &self.{field});\n"));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, serializer: &mut ::serde::Serializer) {{\n\
+                         serializer.begin_object();\n\
+                         {body}\
+                         serializer.end_object();\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated impl parses")
+        }
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("error token parses"),
+    }
+}
+
+/// Extracts the struct name and its field names from a derive input.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut tokens = input.into_iter().peekable();
+    // Scan to `struct <Name>`, skipping attributes and visibility.
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                _ => return Err("expected a struct name".to_string()),
+            },
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "enum" => {
+                return Err("the offline serde shim cannot derive Serialize for enums".to_string());
+            }
+            Some(_) => continue,
+            None => return Err("expected a struct".to_string()),
+        }
+    };
+    // The next brace group holds the fields. Generics would appear
+    // first as `<...>` punct runs; reject them explicitly.
+    let fields_group = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                break group;
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                return Err(
+                    "the offline serde shim cannot derive Serialize for tuple structs".to_string(),
+                );
+            }
+            Some(TokenTree::Punct(punct)) if punct.as_char() == '<' => {
+                return Err(
+                    "the offline serde shim cannot derive Serialize for generic structs"
+                        .to_string(),
+                );
+            }
+            Some(_) => continue,
+            None => return Err("expected struct fields".to_string()),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut inner = fields_group.stream().into_iter().peekable();
+    loop {
+        // Skip per-field attributes (`#[...]`, including doc comments).
+        while matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            inner.next(); // '#'
+            inner.next(); // the bracket group
+        }
+        // Optional visibility: `pub` or `pub(...)`.
+        if matches!(inner.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            inner.next();
+            if matches!(
+                inner.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                inner.next();
+            }
+        }
+        match inner.next() {
+            Some(TokenTree::Ident(field)) => {
+                fields.push(field.to_string());
+                match inner.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    _ => return Err(format!("expected `:` after field `{field}`")),
+                }
+                // Skip the type: consume until a top-level `,`,
+                // tracking `<`/`>` depth (token streams do not group
+                // angle brackets).
+                let mut angle_depth = 0i32;
+                loop {
+                    match inner.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                            break;
+                        }
+                        Some(_) => continue,
+                        None => break, // last field without trailing comma
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+            None => break,
+        }
+    }
+    Ok((name, fields))
+}

@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde_json`, over the `serde` shim's
+//! JSON-only data model.
+
+use std::fmt;
+
+/// Serialization error. The shim's writer is infallible, so this is
+//  never constructed; it exists to keep `?`/`expect` call sites
+/// compiling unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Infallible in the shim; the `Result` mirrors upstream's signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut serializer = serde::Serializer::new();
+    value.serialize(&mut serializer);
+    Ok(serializer.into_string())
+}
+
+/// Serializes `value` as compact JSON. The shim reuses the pretty
+/// writer and strips newlines/indentation only where safe — which is
+/// nowhere in general — so it simply returns the pretty form; all
+/// call sites in this workspace only persist the output to files.
+///
+/// # Errors
+///
+/// Infallible in the shim; the `Result` mirrors upstream's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_prints_vectors() {
+        let json = super::to_string_pretty(&vec![1u32, 2]).unwrap();
+        assert_eq!(json, "[\n  1,\n  2\n]");
+    }
+}

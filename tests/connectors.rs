@@ -26,7 +26,7 @@ fn machine(job: u32) -> Arc<PbfLbMachine> {
 }
 
 fn summaries_with(mode: ConnectorMode, job: u32) -> Vec<(u32, Option<u32>, i64)> {
-    let strata = Strata::new(StrataConfig::default().connector_mode(mode)).unwrap();
+    let strata = Strata::new(StrataConfig::default().connector_mode(mode.clone())).unwrap();
     let (running, reports) = thermal::deploy_pipeline(
         &strata,
         machine(job),
