@@ -1,0 +1,154 @@
+//! Net-level faults: a `TcpStream` wrapper whose reads and writes
+//! pass through failpoints.
+//!
+//! A [`ChaosStream`] constructed with point prefix `"net.server"`
+//! consults `"net.server.recv"` before each read and
+//! `"net.server.send"` before each write. [`Fault::Sever`] lets the
+//! armed number of bytes through, then shuts the socket down in both
+//! directions and reports `ConnectionReset` — a partition cut at an
+//! exact byte boundary.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+use crate::registry::{hit, Fault};
+
+/// A `TcpStream` whose I/O consults failpoints. Transparent when no
+/// scenario is armed (or the `failpoints` feature is off).
+#[derive(Debug)]
+pub struct ChaosStream {
+    inner: TcpStream,
+    recv_point: String,
+    send_point: String,
+}
+
+impl ChaosStream {
+    /// Wraps `inner`, consulting failpoints `"<point>.recv"` and
+    /// `"<point>.send"`.
+    #[must_use]
+    pub fn new(point: &str, inner: TcpStream) -> Self {
+        ChaosStream {
+            inner,
+            recv_point: format!("{point}.recv"),
+            send_point: format!("{point}.send"),
+        }
+    }
+
+    /// The wrapped stream (for timeouts, peer addresses, shutdown).
+    #[must_use]
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.inner
+    }
+
+    fn sever(&self) -> io::Error {
+        let _ = self.inner.shutdown(Shutdown::Both);
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected sever")
+    }
+}
+
+impl Read for ChaosStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match hit(&self.recv_point) {
+            None => {}
+            Some(Fault::Delay(d)) => std::thread::sleep(d),
+            Some(Fault::Io(kind) | Fault::Torn { kind, .. }) => {
+                return Err(io::Error::new(
+                    kind,
+                    format!("injected fault at {}", self.recv_point),
+                ));
+            }
+            Some(Fault::Sever { after }) => {
+                // Allow a bounded prefix through, then cut the socket.
+                let take = after.min(buf.len());
+                if take > 0 {
+                    let n = self.inner.read(&mut buf[..take])?;
+                    if n > 0 {
+                        return Ok(n);
+                    }
+                }
+                return Err(self.sever());
+            }
+            Some(Fault::Panic(msg)) => panic!("injected panic at {}: {msg}", self.recv_point),
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl Write for ChaosStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match hit(&self.send_point) {
+            None => {}
+            Some(Fault::Delay(d)) => std::thread::sleep(d),
+            Some(Fault::Io(kind)) => {
+                return Err(io::Error::new(
+                    kind,
+                    format!("injected fault at {}", self.send_point),
+                ));
+            }
+            Some(Fault::Torn { keep, kind }) => {
+                let keep = keep.min(buf.len());
+                if keep > 0 {
+                    self.inner.write_all(&buf[..keep])?;
+                }
+                return Err(io::Error::new(
+                    kind,
+                    format!("injected torn send at {}", self.send_point),
+                ));
+            }
+            Some(Fault::Sever { after }) => {
+                let keep = after.min(buf.len());
+                if keep > 0 {
+                    self.inner.write_all(&buf[..keep])?;
+                    let _ = self.inner.flush();
+                }
+                return Err(self.sever());
+            }
+            Some(Fault::Panic(msg)) => panic!("injected panic at {}: {msg}", self.send_point),
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use crate::registry::Scenario;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn sever_cuts_the_send_at_a_byte_boundary() {
+        let s = Scenario::setup();
+        s.fail_nth("net.test.send", 1, Fault::Sever { after: 4 });
+        let (client, mut server) = pair();
+        let mut chaos = ChaosStream::new("net.test", client);
+        let err = chaos.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The receiving side sees exactly the allowed prefix, then EOF.
+        let mut got = Vec::new();
+        server.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"0123");
+    }
+
+    #[test]
+    fn transparent_when_unarmed() {
+        let _s = Scenario::setup();
+        let (client, mut server) = pair();
+        let mut chaos = ChaosStream::new("net.test", client);
+        chaos.write_all(b"hello").unwrap();
+        let mut got = [0u8; 5];
+        server.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello");
+    }
+}

@@ -83,9 +83,12 @@ impl Db {
         }
         let next_table_id = ids.first().map_or(1, |max| max + 1);
 
-        // Replay the WAL into a fresh memtable.
+        // Replay the WAL into a fresh memtable. `recover` truncates a
+        // torn tail (crash mid-append) so the appends below land
+        // where the next replay will find them.
         let mut memtable = MemTable::new();
-        for op in Wal::replay(&dir.join(WAL_FILE))? {
+        let (ops, _torn) = Wal::recover(&dir.join(WAL_FILE))?;
+        for op in ops {
             match op {
                 WalOp::Put { key, value } => {
                     memtable.put(&key, &value);
@@ -96,7 +99,7 @@ impl Db {
             }
         }
         let wal = if options.wal_enabled() {
-            Some(Wal::open(dir.join(WAL_FILE))?)
+            Some(Wal::open(dir.join(WAL_FILE), options.sync_policy_value())?)
         } else {
             None
         };
@@ -326,11 +329,16 @@ impl Db {
             writer.add(key, value.as_deref())?;
         }
         let table = writer.finish()?;
+        // Make the new table's directory entry durable before the WAL
+        // holding its contents is retired.
+        strata_chaos::fsync_dir(dir)?;
         state.tables.insert(0, Arc::new(table));
-        // The flushed data is durable; retire the WAL.
         if let Some(wal) = state.wal.take() {
             wal.remove()?;
-            state.wal = Some(Wal::open(dir.join(WAL_FILE))?);
+            state.wal = Some(Wal::open(
+                dir.join(WAL_FILE),
+                self.inner.options.sync_policy_value(),
+            )?);
         }
         Ok(())
     }
@@ -363,10 +371,14 @@ impl Db {
             }
         }
         let merged = Arc::new(writer.finish()?);
+        strata_chaos::fsync_dir(dir)?;
         let old = std::mem::replace(&mut state.tables, vec![merged]);
         for table in old {
             fs::remove_file(table.path())?;
         }
+        // Persist the removals so a crash cannot resurrect stale
+        // tables next to the merged one.
+        strata_chaos::fsync_dir(dir)?;
         Ok(())
     }
 }

@@ -46,4 +46,5 @@ pub mod wal;
 pub use batch::WriteBatch;
 pub use db::Db;
 pub use error::{Error, Result};
-pub use options::DbOptions;
+pub use options::{DbOptions, SyncPolicy};
+pub use wal::wal_tails_truncated;

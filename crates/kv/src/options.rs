@@ -2,6 +2,25 @@
 
 use crate::error::{Error, Result};
 
+/// When the store issues an `fsync` for its write-ahead log.
+///
+/// Durability is exactly what the policy paid for: after a crash, the
+/// WAL replays every operation up to the last successful sync, and
+/// possibly (but not guaranteed) operations after it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every logged operation. An acknowledged write is
+    /// durable before the call returns.
+    Always,
+    /// `fsync` once every `n` logged operations: at most `n - 1`
+    /// acknowledged writes can be lost to a crash.
+    EveryN(u32),
+    /// Never `fsync` explicitly; the OS writes back on its own
+    /// schedule. Matches the historical behavior and is the default.
+    #[default]
+    Never,
+}
+
 /// Tuning knobs for a [`Db`](crate::Db), built in builder style.
 ///
 /// ```
@@ -19,6 +38,7 @@ pub struct DbOptions {
     bloom_bits_per_key: u32,
     compaction_trigger: usize,
     wal: bool,
+    sync: SyncPolicy,
 }
 
 impl Default for DbOptions {
@@ -29,6 +49,7 @@ impl Default for DbOptions {
             bloom_bits_per_key: 10,
             compaction_trigger: 4,
             wal: true,
+            sync: SyncPolicy::Never,
         }
     }
 }
@@ -67,6 +88,13 @@ impl DbOptions {
         self
     }
 
+    /// Sets when the WAL is `fsync`ed (disk mode only). See
+    /// [`SyncPolicy`] for the durability each variant buys.
+    pub fn sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync = policy;
+        self
+    }
+
     /// Validates the option set.
     ///
     /// # Errors
@@ -83,6 +111,11 @@ impl DbOptions {
         if self.compaction_trigger < 2 {
             return Err(Error::InvalidConfig(
                 "compaction_trigger must be ≥ 2".into(),
+            ));
+        }
+        if self.sync == SyncPolicy::EveryN(0) {
+            return Err(Error::InvalidConfig(
+                "SyncPolicy::EveryN requires n > 0".into(),
             ));
         }
         Ok(())
@@ -107,6 +140,10 @@ impl DbOptions {
     pub(crate) fn wal_enabled(&self) -> bool {
         self.wal
     }
+
+    pub(crate) fn sync_policy_value(&self) -> SyncPolicy {
+        self.sync
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +163,14 @@ mod tests {
             .compaction_trigger(1)
             .validate()
             .is_err());
+        assert!(DbOptions::default()
+            .sync_policy(SyncPolicy::EveryN(0))
+            .validate()
+            .is_err());
+        assert!(DbOptions::default()
+            .sync_policy(SyncPolicy::EveryN(1))
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -21,10 +21,11 @@
 //! search over the sparse index, and a scan of one block.
 
 use std::fs;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
+use strata_chaos::ChaosFile;
 
 use crate::bloom::BloomFilter;
 use crate::error::{Error, Result};
@@ -70,7 +71,7 @@ struct BlockMeta {
 #[derive(Debug)]
 pub struct SsTableWriter {
     path: PathBuf,
-    file: fs::File,
+    file: ChaosFile,
     block_bytes: usize,
     block: Vec<u8>,
     block_first_key: Option<Vec<u8>>,
@@ -101,7 +102,8 @@ impl SsTableWriter {
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        let file = fs::File::create(&path)?;
+        // Failpoints: `kv.sst.write` / `kv.sst.sync`.
+        let file = ChaosFile::new("kv.sst", &path, fs::File::create(&path)?)?;
         Ok(SsTableWriter {
             path,
             file,

@@ -14,13 +14,30 @@
 //! ```
 
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use strata_chaos::{fsync_dir, ChaosFile};
 
 use crate::error::{Error, Result};
+use crate::options::SyncPolicy;
 
 const TAG_DELETE: u8 = 0;
 const TAG_PUT: u8 = 1;
+
+/// Failpoint prefix for WAL I/O (`kv.wal.write`, `kv.wal.sync`).
+const CHAOS_POINT: &str = "kv.wal";
+
+/// Count of torn WAL tails truncated by [`Wal::recover`] since
+/// process start (recovery observability; see also the pubsub
+/// segment counter).
+static TAILS_TRUNCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Times a torn WAL tail was truncated during recovery, process-wide.
+#[must_use]
+pub fn wal_tails_truncated() -> u64 {
+    TAILS_TRUNCATED.load(Ordering::Relaxed)
+}
 
 /// Computes the IEEE CRC-32 checksum of `data` (same polynomial as
 /// `strata-pubsub`'s wire format; duplicated here to keep substrate
@@ -70,29 +87,44 @@ pub enum WalOp {
 #[derive(Debug)]
 pub struct Wal {
     path: PathBuf,
-    file: fs::File,
+    file: ChaosFile,
     frame: Vec<u8>,
+    policy: SyncPolicy,
+    /// Operations logged since the last sync (for `EveryN`).
+    unsynced: u32,
 }
 
 impl Wal {
-    /// Creates (or appends to) the WAL at `path`.
+    /// Creates (or appends to) the WAL at `path`, `fsync`ing per
+    /// `policy`. Creating the file also `fsync`s its directory (when
+    /// the policy asks for durability at all), so the WAL itself
+    /// survives a crash right after open.
     ///
     /// # Errors
     ///
     /// I/O failures.
-    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+    pub fn open(path: impl Into<PathBuf>, policy: SyncPolicy) -> Result<Self> {
         let path = path.into();
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
+        let created = !path.exists();
         let file = fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)?;
+        if created && policy != SyncPolicy::Never {
+            if let Some(parent) = path.parent() {
+                fsync_dir(parent)?;
+            }
+        }
+        let file = ChaosFile::new(CHAOS_POINT, &path, file)?;
         Ok(Wal {
             path,
             file,
             frame: Vec::new(),
+            policy,
+            unsynced: 0,
         })
     }
 
@@ -132,6 +164,28 @@ impl Wal {
         self.frame.extend_from_slice(&crc.to_le_bytes());
         self.file.write_all(&self.frame)?;
         self.file.flush()?;
+        match self.policy {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces an `fsync` now, regardless of policy. On return every
+    /// previously logged operation is durable.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
         Ok(())
     }
 
@@ -146,9 +200,10 @@ impl Wal {
         Ok(())
     }
 
-    /// Replays the WAL at `path`, returning its operations in append
-    /// order. A torn final frame (crash mid-write) is tolerated and
-    /// truncated away; corruption *before* the tail is an error.
+    /// Replays the WAL at `path` without modifying it, returning its
+    /// operations in append order. A torn final frame (crash
+    /// mid-write) is tolerated and ignored; corruption *before* the
+    /// tail is an error.
     ///
     /// Returns an empty vector when the file does not exist.
     ///
@@ -156,9 +211,40 @@ impl Wal {
     ///
     /// [`Error::Corrupt`] for mid-log corruption; I/O failures.
     pub fn replay(path: &Path) -> Result<Vec<WalOp>> {
+        Self::scan(path).map(|(ops, _)| ops)
+    }
+
+    /// Replays the WAL at `path` *and truncates a torn tail away*, so
+    /// that frames appended afterwards decode on the next replay
+    /// (appending after torn bytes would strand them unreachable).
+    /// Returns the operations and the number of torn bytes dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] for mid-log corruption; I/O failures.
+    pub fn recover(path: &Path) -> Result<(Vec<WalOp>, u64)> {
+        let (ops, valid_len) = Self::scan(path)?;
+        let file_len = match fs::metadata(path) {
+            Ok(meta) => meta.len(),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok((ops, 0)),
+            Err(err) => return Err(err.into()),
+        };
+        let torn = file_len.saturating_sub(valid_len);
+        if torn > 0 {
+            let file = fs::OpenOptions::new().write(true).open(path)?;
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+            TAILS_TRUNCATED.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((ops, torn))
+    }
+
+    /// Decodes the valid frame prefix: the operations and the byte
+    /// length they occupy.
+    fn scan(path: &Path) -> Result<(Vec<WalOp>, u64)> {
         let data = match fs::read(path) {
             Ok(data) => data,
-            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
             Err(err) => return Err(err.into()),
         };
         let mut ops = Vec::new();
@@ -173,7 +259,7 @@ impl Wal {
                 Err(err) => return Err(err),
             }
         }
-        Ok(ops)
+        Ok((ops, pos as u64))
     }
 
     fn decode_op(data: &[u8]) -> Result<(WalOp, usize)> {
@@ -258,7 +344,7 @@ mod tests {
         let path = temp_path("order");
         let _ = fs::remove_file(&path);
         {
-            let mut wal = Wal::open(&path).unwrap();
+            let mut wal = Wal::open(&path, SyncPolicy::Never).unwrap();
             wal.log_put(b"a", b"1").unwrap();
             wal.log_delete(b"a").unwrap();
             wal.log_put(b"b", b"2").unwrap();
@@ -293,7 +379,7 @@ mod tests {
         let path = temp_path("torn");
         let _ = fs::remove_file(&path);
         {
-            let mut wal = Wal::open(&path).unwrap();
+            let mut wal = Wal::open(&path, SyncPolicy::Never).unwrap();
             wal.log_put(b"ok", b"yes").unwrap();
             wal.log_put(b"torn", b"partial").unwrap();
         }
@@ -311,7 +397,7 @@ mod tests {
         let path = temp_path("corrupt");
         let _ = fs::remove_file(&path);
         {
-            let mut wal = Wal::open(&path).unwrap();
+            let mut wal = Wal::open(&path, SyncPolicy::Never).unwrap();
             wal.log_put(b"first", b"1").unwrap();
             wal.log_put(b"second", b"2").unwrap();
         }
@@ -322,10 +408,76 @@ mod tests {
         fs::remove_file(&path).unwrap();
     }
 
+    /// Exhaustive crash-point property: truncating the log at *every*
+    /// byte boundary of the final frame must recover exactly the
+    /// fully written prefix — never an error, never a partial op —
+    /// and the truncated log must accept appends that survive the
+    /// next replay.
+    #[test]
+    fn recovery_at_every_byte_boundary_of_the_final_frame() {
+        let path = temp_path("boundary");
+        let _ = fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path, SyncPolicy::Always).unwrap();
+            wal.log_put(b"alpha", b"1").unwrap();
+            wal.log_delete(b"alpha").unwrap();
+            wal.log_put(b"gamma", b"333").unwrap();
+        }
+        let full = fs::read(&path).unwrap();
+        // Final frame: tag + key_len + "gamma" + value_len + "333" + crc.
+        let final_frame = 1 + 4 + 5 + 4 + 3 + 4;
+        let prefix_len = full.len() - final_frame;
+        for cut in prefix_len..=full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let (ops, torn) = Wal::recover(&path).unwrap();
+            if cut == full.len() {
+                assert_eq!(ops.len(), 3, "intact log at cut {cut}");
+                assert_eq!(torn, 0);
+            } else {
+                assert_eq!(ops.len(), 2, "torn tail at cut {cut}");
+                assert_eq!(torn as usize, cut - prefix_len, "cut {cut}");
+                assert_eq!(
+                    fs::metadata(&path).unwrap().len() as usize,
+                    prefix_len,
+                    "file truncated back to the valid prefix at cut {cut}"
+                );
+            }
+            let mut wal = Wal::open(&path, SyncPolicy::Never).unwrap();
+            wal.log_put(b"post", b"crash").unwrap();
+            drop(wal);
+            let after = Wal::replay(&path).unwrap();
+            assert_eq!(
+                after.last(),
+                Some(&WalOp::Put {
+                    key: b"post".to_vec(),
+                    value: b"crash".to_vec()
+                }),
+                "append after recovery must be replayable (cut {cut})"
+            );
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_n_policy_counts_down_to_a_sync() {
+        let path = temp_path("everyn");
+        let _ = fs::remove_file(&path);
+        let mut wal = Wal::open(&path, SyncPolicy::EveryN(3)).unwrap();
+        for i in 0..7u8 {
+            wal.log_put(&[i], b"v").unwrap();
+        }
+        // 7 ops under EveryN(3): synced at ops 3 and 6, one pending.
+        assert_eq!(wal.unsynced, 1);
+        wal.sync().unwrap();
+        assert_eq!(wal.unsynced, 0);
+        drop(wal);
+        fs::remove_file(&path).unwrap();
+    }
+
     #[test]
     fn remove_deletes_the_file() {
         let path = temp_path("remove");
-        let wal = Wal::open(&path).unwrap();
+        let wal = Wal::open(&path, SyncPolicy::Never).unwrap();
         assert!(path.exists());
         wal.remove().unwrap();
         assert!(!path.exists());

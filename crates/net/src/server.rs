@@ -180,10 +180,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     // The read timeout doubles as the shutdown poll interval.
     let _ = stream.set_read_timeout(Some(shared.config.idle_poll));
     let _ = stream.set_nodelay(true);
+    // Failpoints `net.server.recv` / `net.server.send` can sever or
+    // delay the connection at an exact byte boundary; transparent
+    // passthrough when the chaos registry is disarmed.
+    let mut stream = strata_chaos::ChaosStream::new("net.server", stream);
     // One producer per connection so keyless round-robin state is
     // connection-local, like an in-process producer handle.
     let producer = shared.broker.producer();
@@ -248,10 +252,9 @@ fn serve(shared: &Shared, producer: &Producer, request: Request) -> Response {
             topic,
             partition,
             offset,
-        } => {
-            broker.commit_offset(&group, &topic, partition, offset);
-            Ok(Response::Committed)
-        }
+        } => broker
+            .commit_offset(&group, &topic, partition, offset)
+            .map(|()| Response::Committed),
         Request::FetchOffset {
             group,
             topic,

@@ -2,6 +2,7 @@
 //! wakeup machinery connecting producers to blocked consumers.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -10,7 +11,8 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::consumer::Consumer;
 use crate::error::{Error, Result};
-use crate::log::LogKind;
+use crate::log::{LogKind, SyncPolicy};
+use crate::offsets::OffsetStore;
 use crate::producer::Producer;
 use crate::retention::RetentionPolicy;
 use crate::topic::Topic;
@@ -75,9 +77,28 @@ pub(crate) struct BrokerInner {
     appends: Mutex<u64>,
     data_ready: Condvar,
     next_member: AtomicU64,
+    /// Optional durable backing for committed group offsets.
+    offset_store: Option<Mutex<OffsetStore>>,
 }
 
 impl BrokerInner {
+    /// Writes a commit through to the durable store, when one is
+    /// configured. Callers update the in-memory group state only
+    /// after this succeeds, so an acknowledged commit is always at
+    /// least as durable as the store's sync policy promises.
+    pub(crate) fn persist_offset(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+    ) -> Result<()> {
+        if let Some(store) = &self.offset_store {
+            store.lock().record(group, topic, partition, offset)?;
+        }
+        Ok(())
+    }
+
     pub(crate) fn topic(&self, name: &str) -> Result<Arc<Topic>> {
         self.topics
             .read()
@@ -187,8 +208,40 @@ impl Broker {
                 appends: Mutex::new(0),
                 data_ready: Condvar::new(),
                 next_member: AtomicU64::new(1),
+                offset_store: None,
             }),
         }
+    }
+
+    /// Creates a broker whose committed group offsets are written
+    /// through to a durable [`OffsetStore`] at `path`, and seeds the
+    /// group state with whatever the store recovered — so a restarted
+    /// broker resumes consumers from their last committed positions.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] if the store is damaged before its final
+    /// frame (a torn final frame is truncated away), or I/O failures.
+    pub fn with_offset_store(path: impl Into<PathBuf>, sync: SyncPolicy) -> Result<Self> {
+        let store = OffsetStore::open(path, sync)?;
+        let mut groups: HashMap<String, GroupState> = HashMap::new();
+        for ((group, topic, partition), offset) in store.entries() {
+            groups
+                .entry(group.clone())
+                .or_default()
+                .offsets
+                .insert((topic.clone(), *partition), offset);
+        }
+        Ok(Broker {
+            inner: Arc::new(BrokerInner {
+                topics: RwLock::new(HashMap::new()),
+                groups: Mutex::new(groups),
+                appends: Mutex::new(0),
+                data_ready: Condvar::new(),
+                next_member: AtomicU64::new(1),
+                offset_store: Some(Mutex::new(store)),
+            }),
+        })
     }
 
     /// Creates a topic.
@@ -302,10 +355,23 @@ impl Broker {
     /// partition)`, creating the group if it does not exist. Remote
     /// consumers commit through this instead of holding a group
     /// membership: their partition assignment lives client-side.
-    pub fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) {
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the durable offset store, when one is
+    /// configured; the in-memory offset is not updated in that case.
+    pub fn commit_offset(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+    ) -> Result<()> {
+        self.inner.persist_offset(group, topic, partition, offset)?;
         let mut groups = self.inner.groups.lock();
         let state = groups.entry(group.to_string()).or_default();
         state.offsets.insert((topic.to_string(), partition), offset);
+        Ok(())
     }
 
     /// Blocks until a producer appends somewhere in the broker or
@@ -445,7 +511,7 @@ mod tests {
         let broker = Broker::new();
         broker.create_topic("t", TopicConfig::new(1)).unwrap();
         assert_eq!(broker.committed_offset("g", "t", 0), None);
-        broker.commit_offset("g", "t", 0, 7);
+        broker.commit_offset("g", "t", 0, 7).unwrap();
         assert_eq!(broker.committed_offset("g", "t", 0), Some(7));
         // A committed offset bounds consumer lag like any other.
         let producer = broker.producer();
@@ -453,6 +519,27 @@ mod tests {
             producer.send("t", None, vec![n]).unwrap();
         }
         assert_eq!(broker.consumer_lag("g", "t").unwrap(), 3);
+    }
+
+    #[test]
+    fn offset_store_survives_broker_restart() {
+        let path = std::env::temp_dir().join(format!(
+            "strata-pubsub-broker-offsets-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let broker = Broker::with_offset_store(&path, SyncPolicy::Always).unwrap();
+            broker.create_topic("t", TopicConfig::new(2)).unwrap();
+            broker.commit_offset("g", "t", 0, 5).unwrap();
+            broker.commit_offset("g", "t", 1, 9).unwrap();
+            broker.commit_offset("g", "t", 0, 6).unwrap(); // last write wins
+        }
+        let broker = Broker::with_offset_store(&path, SyncPolicy::Always).unwrap();
+        assert_eq!(broker.committed_offset("g", "t", 0), Some(6));
+        assert_eq!(broker.committed_offset("g", "t", 1), Some(9));
+        assert_eq!(broker.committed_offset("other", "t", 0), None);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -168,13 +168,19 @@ impl Consumer {
     }
 
     /// Commits the current positions to the broker, making them the
-    /// group's resume points.
+    /// group's resume points. With a durable offset store configured
+    /// on the broker, the positions are persisted before the
+    /// in-memory group state acknowledges them.
     ///
     /// # Errors
     ///
-    /// Currently infallible; the `Result` reserves room for durable
-    /// group storage.
+    /// I/O failures writing the broker's durable offset store, when
+    /// one is configured.
     pub fn commit(&mut self) -> Result<()> {
+        for ((topic, partition), &position) in &self.positions {
+            self.inner
+                .persist_offset(&self.group, topic, *partition, position)?;
+        }
         let mut groups = self.inner.groups.lock();
         if let Some(state) = groups.get_mut(&self.group) {
             for (key, &position) in &self.positions {

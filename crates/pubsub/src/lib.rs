@@ -45,6 +45,7 @@ pub mod checksum;
 pub mod consumer;
 pub mod error;
 pub mod log;
+pub mod offsets;
 pub mod producer;
 pub mod record;
 pub mod retention;
@@ -54,7 +55,8 @@ pub mod wire;
 pub use broker::{Broker, TopicConfig};
 pub use consumer::{Consumer, PolledRecord};
 pub use error::{Error, Result};
-pub use log::LogKind;
+pub use log::{segment_tails_truncated, LogKind, SyncPolicy};
+pub use offsets::OffsetStore;
 pub use producer::Producer;
 pub use record::{Record, StoredRecord};
 pub use retention::RetentionPolicy;

@@ -10,12 +10,46 @@
 
 use std::collections::VecDeque;
 use std::fs;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use strata_chaos::{fsync_dir, ChaosFile};
 
 use crate::error::{Error, Result};
 use crate::record::{Record, StoredRecord};
 use crate::wire;
+
+/// Failpoint prefix for segment I/O (`pubsub.segment.write`,
+/// `pubsub.segment.sync`).
+const CHAOS_POINT: &str = "pubsub.segment";
+
+/// Count of torn segment tails truncated during recovery since
+/// process start (see [`segment_tails_truncated`]).
+static TAILS_TRUNCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Times a torn segment tail was truncated on [`FileLog::open`],
+/// process-wide. Mirrors `strata_kv::wal_tails_truncated`.
+#[must_use]
+pub fn segment_tails_truncated() -> u64 {
+    TAILS_TRUNCATED.load(Ordering::Relaxed)
+}
+
+/// When a [`FileLog`] issues an `fsync` for appended records.
+///
+/// Same contract as the kv store's policy (duplicated here to keep
+/// substrate crates independent): after a crash, recovery yields every
+/// record up to the last successful sync, and possibly more.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every append.
+    Always,
+    /// `fsync` once every `n` appends.
+    EveryN(u32),
+    /// Never `fsync` explicitly (historical behavior; the default).
+    #[default]
+    Never,
+}
 
 /// Which storage backs a topic's partitions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +64,8 @@ pub enum LogKind {
         dir: PathBuf,
         /// Maximum byte size of one segment file before rolling.
         segment_bytes: u64,
+        /// When appends are `fsync`ed.
+        sync: SyncPolicy,
     },
 }
 
@@ -181,41 +217,71 @@ impl Segment {
 pub struct FileLog {
     dir: PathBuf,
     segment_bytes: u64,
+    sync: SyncPolicy,
+    /// Appends since the last sync (for `EveryN`).
+    unsynced: u32,
     segments: Vec<Segment>,
-    writer: Option<fs::File>,
+    writer: Option<ChaosFile>,
     scratch: Vec<u8>,
 }
 
 impl FileLog {
     /// Opens (or creates) the log stored under `dir`, recovering
-    /// existing segments by re-scanning their frames.
+    /// existing segments by re-scanning their frames. A torn tail in
+    /// the *final* segment (crash mid-append) is truncated away, like
+    /// the kv WAL's tail rule; corruption anywhere else is an error.
     ///
     /// # Errors
     ///
     /// I/O failures, or [`Error::Corrupt`] if a recovered segment
     /// fails validation.
-    pub fn open(dir: impl Into<PathBuf>, segment_bytes: u64) -> Result<Self> {
+    pub fn open(dir: impl Into<PathBuf>, segment_bytes: u64, sync: SyncPolicy) -> Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        let mut segments = Vec::new();
+        let mut segments: Vec<Segment> = Vec::new();
         let mut names: Vec<PathBuf> = fs::read_dir(&dir)?
             .filter_map(|entry| entry.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|e| e == "seg"))
             .collect();
         names.sort();
-        for path in names {
-            segments.push(Self::recover_segment(&path)?);
+        let last = names.len().saturating_sub(1);
+        for (i, path) in names.iter().enumerate() {
+            let segment = Self::recover_segment(path, i == last)?;
+            if let Some(prev) = segments.last() {
+                if segment.base_offset != prev.next_offset() {
+                    return Err(Error::Corrupt(format!(
+                        "segment {:?}: base offset {} does not continue previous segment \
+                         (expected {})",
+                        segment.path,
+                        segment.base_offset,
+                        prev.next_offset()
+                    )));
+                }
+            }
+            segments.push(segment);
         }
         Ok(FileLog {
             dir,
             segment_bytes: segment_bytes.max(1),
+            sync,
+            unsynced: 0,
             segments,
             writer: None,
             scratch: Vec::new(),
         })
     }
 
-    fn recover_segment(path: &Path) -> Result<Segment> {
+    /// A frame that fails to decode only because the file ran out of
+    /// bytes is a torn tail from a crash mid-append — safe to discard.
+    fn is_torn_tail(data: &[u8]) -> bool {
+        if data.len() < 4 {
+            return true;
+        }
+        let body_len = u32::from_le_bytes(data[..4].try_into().expect("len 4")) as usize;
+        data.len() < 4 + body_len + 4
+    }
+
+    fn recover_segment(path: &Path, is_final: bool) -> Result<Segment> {
         let stem = path
             .file_stem()
             .and_then(|s| s.to_str())
@@ -228,22 +294,36 @@ impl FileLog {
         let mut pos = 0u64;
         let mut expected = base_offset;
         while (pos as usize) < data.len() {
-            let (stored, used) = wire::decode_frame(&data[pos as usize..])?;
-            if stored.offset != expected {
-                return Err(Error::Corrupt(format!(
-                    "segment {path:?}: offset {} where {expected} expected",
-                    stored.offset
-                )));
+            match wire::decode_frame(&data[pos as usize..]) {
+                Ok((stored, used)) => {
+                    if stored.offset != expected {
+                        return Err(Error::Corrupt(format!(
+                            "segment {path:?}: offset {} where {expected} expected",
+                            stored.offset
+                        )));
+                    }
+                    positions.push(pos);
+                    pos += used as u64;
+                    expected += 1;
+                }
+                // Only the final segment can legitimately end mid-frame
+                // (the crash happened while appending to it); a complete
+                // frame that fails its checksum is real corruption.
+                Err(_) if is_final && Self::is_torn_tail(&data[pos as usize..]) => {
+                    let file = fs::OpenOptions::new().write(true).open(path)?;
+                    file.set_len(pos)?;
+                    file.sync_data()?;
+                    TAILS_TRUNCATED.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(err) => return Err(err),
             }
-            positions.push(pos);
-            pos += used as u64;
-            expected += 1;
         }
         Ok(Segment {
             base_offset,
             path: path.to_path_buf(),
             positions,
-            bytes: data.len() as u64,
+            bytes: pos,
         })
     }
 
@@ -253,13 +333,17 @@ impl FileLog {
             .create(true)
             .append(true)
             .open(&path)?;
+        if self.sync != SyncPolicy::Never {
+            // Make the new segment's directory entry durable.
+            fsync_dir(&self.dir)?;
+        }
         self.segments.push(Segment {
             base_offset,
-            path,
+            path: path.clone(),
             positions: Vec::new(),
             bytes: 0,
         });
-        self.writer = Some(file);
+        self.writer = Some(ChaosFile::new(CHAOS_POINT, path, file)?);
         Ok(())
     }
 
@@ -269,14 +353,21 @@ impl FileLog {
             .is_none_or(|s| s.bytes >= self.segment_bytes)
     }
 
-    /// Ensures a writable active segment exists (used after recovery,
-    /// where no file handle is open yet).
+    /// Ensures a writable active segment exists: reuses the recovered
+    /// final segment while it has room (so recovery does not strand
+    /// partially filled segments), rolling a fresh one otherwise.
     fn ensure_writer(&mut self) -> Result<()> {
-        if self.writer.is_none() || self.active_is_full() {
-            let next = self.end_offset();
-            self.roll_segment(next)?;
+        if self.writer.is_some() && !self.active_is_full() {
+            return Ok(());
         }
-        Ok(())
+        if self.writer.is_none() && !self.active_is_full() {
+            let last = self.segments.last().expect("non-full implies a segment");
+            let file = fs::OpenOptions::new().append(true).open(&last.path)?;
+            self.writer = Some(ChaosFile::new(CHAOS_POINT, last.path.clone(), file)?);
+            return Ok(());
+        }
+        let next = self.end_offset();
+        self.roll_segment(next)
     }
 
     fn segment_for(&self, offset: u64) -> Option<&Segment> {
@@ -301,6 +392,17 @@ impl PartitionLog for FileLog {
         let writer = self.writer.as_mut().expect("writer ensured above");
         writer.write_all(&self.scratch)?;
         writer.flush()?;
+        match self.sync {
+            SyncPolicy::Always => writer.sync_data()?,
+            SyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    writer.sync_data()?;
+                    self.unsynced = 0;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
         let segment = self.segments.last_mut().expect("segment ensured above");
         segment.positions.push(segment.bytes);
         segment.bytes += self.scratch.len() as u64;
@@ -406,7 +508,7 @@ mod tests {
     fn file_log_contract() {
         let dir = std::env::temp_dir().join(format!("strata-pubsub-t1-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        check_log_contract(&mut FileLog::open(&dir, 256).unwrap());
+        check_log_contract(&mut FileLog::open(&dir, 256, SyncPolicy::Never).unwrap());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -434,14 +536,14 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         {
             // Tiny segment size forces several segment files.
-            let mut log = FileLog::open(&dir, 64).unwrap();
+            let mut log = FileLog::open(&dir, 64, SyncPolicy::Never).unwrap();
             for n in 0..20u8 {
                 log.append(record(n)).unwrap();
             }
             assert!(log.segments.len() > 1, "expected multiple segments");
         }
         // Re-open: recovery must rebuild offsets and allow appends.
-        let mut log = FileLog::open(&dir, 64).unwrap();
+        let mut log = FileLog::open(&dir, 64, SyncPolicy::Never).unwrap();
         assert_eq!(log.end_offset(), 20);
         assert_eq!(log.append(record(20)).unwrap(), 20);
         let all = log.read_from(0, usize::MAX).unwrap();
@@ -454,7 +556,7 @@ mod tests {
     fn file_log_truncates_whole_segments() {
         let dir = std::env::temp_dir().join(format!("strata-pubsub-t3-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        let mut log = FileLog::open(&dir, 64).unwrap();
+        let mut log = FileLog::open(&dir, 64, SyncPolicy::Never).unwrap();
         for n in 0..20u8 {
             log.append(record(n)).unwrap();
         }
@@ -473,7 +575,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("strata-pubsub-t4-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         {
-            let mut log = FileLog::open(&dir, 1 << 20).unwrap();
+            let mut log = FileLog::open(&dir, 1 << 20, SyncPolicy::Never).unwrap();
             log.append(record(0)).unwrap();
         }
         // Flip a byte in the middle of the single segment.
@@ -483,7 +585,74 @@ mod tests {
         data[mid] ^= 0xFF;
         fs::write(&seg, data).unwrap();
         assert!(matches!(
-            FileLog::open(&dir, 1 << 20),
+            FileLog::open(&dir, 1 << 20, SyncPolicy::Never),
+            Err(Error::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A crash mid-append leaves a half-written frame at the end of
+    /// the final segment. Recovery must truncate it away and keep the
+    /// log usable — not refuse to open.
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = std::env::temp_dir().join(format!("strata-pubsub-t5-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut log = FileLog::open(&dir, 1 << 20, SyncPolicy::Never).unwrap();
+            for n in 0..3u8 {
+                log.append(record(n)).unwrap();
+            }
+        }
+        let seg = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let full = fs::read(&seg).unwrap();
+        let frame = full.len() / 3;
+        // Chop into the middle of the last frame.
+        fs::write(&seg, &full[..full.len() - frame / 2]).unwrap();
+        let before = segment_tails_truncated();
+
+        let mut log = FileLog::open(&dir, 1 << 20, SyncPolicy::Never).unwrap();
+        assert_eq!(log.end_offset(), 2, "torn record dropped");
+        assert_eq!(segment_tails_truncated(), before + 1);
+        assert_eq!(
+            fs::metadata(&seg).unwrap().len() as usize,
+            2 * frame,
+            "file truncated back to the valid prefix"
+        );
+        // Appends land where the next recovery will find them.
+        assert_eq!(log.append(record(9)).unwrap(), 2);
+        drop(log);
+        let mut log = FileLog::open(&dir, 1 << 20, SyncPolicy::Never).unwrap();
+        let all = log.read_from(0, usize::MAX).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].record, record(9));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The torn-tail rule only applies to the final segment: a tear
+    /// mid-log (an earlier segment) means records that were once
+    /// readable are gone, and must surface as corruption.
+    #[test]
+    fn torn_tail_in_a_non_final_segment_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("strata-pubsub-t6-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut log = FileLog::open(&dir, 64, SyncPolicy::Never).unwrap();
+            for n in 0..20u8 {
+                log.append(record(n)).unwrap();
+            }
+            assert!(log.segments.len() > 1, "expected multiple segments");
+        }
+        let mut names: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        names.sort();
+        let first = &names[0];
+        let data = fs::read(first).unwrap();
+        fs::write(first, &data[..data.len() - 3]).unwrap();
+        assert!(matches!(
+            FileLog::open(&dir, 64, SyncPolicy::Never),
             Err(Error::Corrupt(_))
         ));
         fs::remove_dir_all(&dir).unwrap();

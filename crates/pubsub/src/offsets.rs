@@ -1,0 +1,339 @@
+//! Durable storage for committed consumer-group offsets.
+//!
+//! The broker's group offsets are plain in-memory state; an
+//! [`OffsetStore`] write-through makes them survive a broker restart,
+//! the way Kafka's `__consumer_offsets` topic does. The store is an
+//! append-only log of commit frames:
+//!
+//! ```text
+//! ┌──────────────┬───────────────┬──────────────┐
+//! │ body_len u32 │ body (…)      │ crc32 u32    │   little-endian
+//! └──────────────┴───────────────┴──────────────┘
+//! body := group_len u16 · group · topic_len u16 · topic
+//!       · partition u32 · offset u64
+//! ```
+//!
+//! The last frame for a `(group, topic, partition)` wins. Recovery
+//! follows the same tail rule as the WAL and segment files: a torn
+//! final frame is truncated away, corruption before the tail is an
+//! error. When the log grows well past the number of live entries it
+//! is compacted by rewriting and atomically renaming.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use strata_chaos::{fsync_dir, ChaosFile};
+
+use crate::checksum::crc32;
+use crate::error::{Error, Result};
+use crate::log::SyncPolicy;
+use crate::wire::Reader;
+
+/// Failpoint prefix for offset-store I/O (`pubsub.offsets.write`,
+/// `pubsub.offsets.sync`).
+const CHAOS_POINT: &str = "pubsub.offsets";
+
+/// Compact when the log holds this many frames beyond the live count.
+const COMPACT_SLACK: u64 = 1024;
+
+type Key = (String, String, u32);
+
+/// An append-only, crash-recoverable store of committed offsets.
+#[derive(Debug)]
+pub struct OffsetStore {
+    path: PathBuf,
+    file: ChaosFile,
+    policy: SyncPolicy,
+    unsynced: u32,
+    /// Frames currently in the file (live + superseded).
+    frames: u64,
+    live: BTreeMap<Key, u64>,
+    scratch: Vec<u8>,
+}
+
+impl OffsetStore {
+    /// Opens (or creates) the store at `path`, replaying every commit
+    /// frame. A torn final frame is truncated away.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Corrupt`] for mid-log corruption; I/O failures.
+    pub fn open(path: impl Into<PathBuf>, policy: SyncPolicy) -> Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let data = match fs::read(&path) {
+            Ok(data) => data,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(err) => return Err(err.into()),
+        };
+        let (live, frames, valid_len) = Self::scan(&data)?;
+        let created = !path.exists();
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        if valid_len < data.len() as u64 {
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+        }
+        if created && policy != SyncPolicy::Never {
+            if let Some(parent) = path.parent() {
+                fsync_dir(parent)?;
+            }
+        }
+        let file = ChaosFile::new(CHAOS_POINT, &path, file)?;
+        Ok(OffsetStore {
+            path,
+            file,
+            policy,
+            unsynced: 0,
+            frames,
+            live,
+            scratch: Vec::new(),
+        })
+    }
+
+    fn scan(data: &[u8]) -> Result<(BTreeMap<Key, u64>, u64, u64)> {
+        let mut live = BTreeMap::new();
+        let mut frames = 0u64;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            match Self::decode_frame(&data[pos..]) {
+                Ok((key, offset, used)) => {
+                    live.insert(key, offset);
+                    frames += 1;
+                    pos += used;
+                }
+                Err(_) if Self::is_torn_tail(&data[pos..]) => break,
+                Err(err) => return Err(err),
+            }
+        }
+        Ok((live, frames, pos as u64))
+    }
+
+    fn is_torn_tail(data: &[u8]) -> bool {
+        if data.len() < 4 {
+            return true;
+        }
+        let body_len = u32::from_le_bytes(data[..4].try_into().expect("len 4")) as usize;
+        data.len() < 4 + body_len + 4
+    }
+
+    fn decode_frame(data: &[u8]) -> Result<(Key, u64, usize)> {
+        let mut outer = Reader::new(data);
+        let body_len = outer.u32()? as usize;
+        let body = outer.bytes(body_len)?;
+        let stored_crc = outer.u32()?;
+        let actual_crc = crc32(body);
+        if stored_crc != actual_crc {
+            return Err(Error::Corrupt(format!(
+                "offset store: crc mismatch: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            )));
+        }
+        let mut r = Reader::new(body);
+        let group_len = r.u16()? as usize;
+        let group = std::str::from_utf8(r.bytes(group_len)?)
+            .map_err(|_| Error::Corrupt("offset store: group is not utf-8".into()))?
+            .to_string();
+        let topic_len = r.u16()? as usize;
+        let topic = std::str::from_utf8(r.bytes(topic_len)?)
+            .map_err(|_| Error::Corrupt("offset store: topic is not utf-8".into()))?
+            .to_string();
+        let partition = r.u32()?;
+        let offset = r.u64()?;
+        if r.remaining() != 0 {
+            return Err(Error::Corrupt(format!(
+                "offset store: {} trailing bytes in frame body",
+                r.remaining()
+            )));
+        }
+        Ok(((group, topic, partition), offset, 4 + body_len + 4))
+    }
+
+    fn encode_frame(buf: &mut Vec<u8>, group: &str, topic: &str, partition: u32, offset: u64) {
+        let start = buf.len();
+        buf.extend_from_slice(&0u32.to_le_bytes()); // body_len placeholder
+        let body_start = buf.len();
+        buf.extend_from_slice(&(group.len() as u16).to_le_bytes());
+        buf.extend_from_slice(group.as_bytes());
+        buf.extend_from_slice(&(topic.len() as u16).to_le_bytes());
+        buf.extend_from_slice(topic.as_bytes());
+        buf.extend_from_slice(&partition.to_le_bytes());
+        buf.extend_from_slice(&offset.to_le_bytes());
+        let body_len = (buf.len() - body_start) as u32;
+        buf[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+        let crc = crc32(&buf[body_start..]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// The stored offset of `(group, topic, partition)`, if any.
+    #[must_use]
+    pub fn get(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        self.live
+            .get(&(group.to_string(), topic.to_string(), partition))
+            .copied()
+    }
+
+    /// Every live `((group, topic, partition), offset)` entry, in key
+    /// order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Key, u64)> {
+        self.live.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Number of live `(group, topic, partition)` entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no offsets are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Appends one commit frame (and syncs per policy), compacting
+    /// the log when superseded frames pile up.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures. The in-memory view is only updated once the
+    /// append succeeded.
+    pub fn record(&mut self, group: &str, topic: &str, partition: u32, offset: u64) -> Result<()> {
+        self.scratch.clear();
+        Self::encode_frame(&mut self.scratch, group, topic, partition, offset);
+        self.file.write_all(&self.scratch)?;
+        self.file.flush()?;
+        match self.policy {
+            SyncPolicy::Always => self.file.sync_data()?,
+            SyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.file.sync_data()?;
+                    self.unsynced = 0;
+                }
+            }
+            SyncPolicy::Never => {}
+        }
+        self.frames += 1;
+        self.live
+            .insert((group.to_string(), topic.to_string(), partition), offset);
+        if self.frames > self.live.len() as u64 + COMPACT_SLACK {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the log with one frame per live entry and atomically
+    /// renames it into place (with a directory fsync, so the rename
+    /// survives a crash).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; on error the previous log remains in place.
+    pub fn compact(&mut self) -> Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let file = fs::File::create(&tmp)?;
+            let mut out = ChaosFile::new(CHAOS_POINT, &tmp, file)?;
+            let mut buf = Vec::new();
+            for ((group, topic, partition), offset) in &self.live {
+                Self::encode_frame(&mut buf, group, topic, *partition, *offset);
+            }
+            out.write_all(&buf)?;
+            out.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            fsync_dir(parent)?;
+        }
+        let file = fs::OpenOptions::new().append(true).open(&self.path)?;
+        self.file = ChaosFile::new(CHAOS_POINT, &self.path, file)?;
+        self.frames = self.live.len() as u64;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "strata-pubsub-offsets-{tag}-{}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn offsets_survive_reopen_with_last_write_winning() {
+        let path = temp_path("reopen");
+        let _ = fs::remove_file(&path);
+        {
+            let mut store = OffsetStore::open(&path, SyncPolicy::Never).unwrap();
+            store.record("g1", "t", 0, 5).unwrap();
+            store.record("g1", "t", 1, 9).unwrap();
+            store.record("g1", "t", 0, 7).unwrap(); // supersedes 5
+            store.record("g2", "t", 0, 1).unwrap();
+        }
+        let store = OffsetStore::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(store.get("g1", "t", 0), Some(7));
+        assert_eq!(store.get("g1", "t", 1), Some(9));
+        assert_eq!(store.get("g2", "t", 0), Some(1));
+        assert_eq!(store.get("g2", "t", 1), None);
+        assert_eq!(store.len(), 3);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_mid_log_corruption_errors() {
+        let path = temp_path("tail");
+        let _ = fs::remove_file(&path);
+        {
+            let mut store = OffsetStore::open(&path, SyncPolicy::Never).unwrap();
+            store.record("group", "topic", 0, 11).unwrap();
+            store.record("group", "topic", 1, 22).unwrap();
+        }
+        let full = fs::read(&path).unwrap();
+        // Tear the final frame: the first commit must survive.
+        fs::write(&path, &full[..full.len() - 4]).unwrap();
+        let store = OffsetStore::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(store.get("group", "topic", 0), Some(11));
+        assert_eq!(store.get("group", "topic", 1), None);
+        drop(store);
+        // Corrupt the first frame: that is not a tail, so it errors.
+        let mut data = full.clone();
+        data[6] ^= 0xFF;
+        fs::write(&path, data).unwrap();
+        assert!(matches!(
+            OffsetStore::open(&path, SyncPolicy::Never),
+            Err(Error::Corrupt(_))
+        ));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_only_live_entries() {
+        let path = temp_path("compact");
+        let _ = fs::remove_file(&path);
+        let mut store = OffsetStore::open(&path, SyncPolicy::Never).unwrap();
+        for i in 0..100u64 {
+            store.record("g", "t", 0, i).unwrap();
+        }
+        let before = fs::metadata(&path).unwrap().len();
+        store.compact().unwrap();
+        let after = fs::metadata(&path).unwrap().len();
+        assert!(after < before, "compaction shrank the log");
+        assert_eq!(store.get("g", "t", 0), Some(99));
+        // Still appendable and recoverable after compaction.
+        store.record("g", "t", 0, 100).unwrap();
+        drop(store);
+        let store = OffsetStore::open(&path, SyncPolicy::Never).unwrap();
+        assert_eq!(store.get("g", "t", 0), Some(100));
+        fs::remove_file(&path).unwrap();
+    }
+}

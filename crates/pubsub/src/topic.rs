@@ -52,9 +52,14 @@ impl Topic {
         for p in 0..partitions {
             let log: Box<dyn PartitionLog> = match kind {
                 LogKind::Memory => Box::new(MemoryLog::new()),
-                LogKind::File { dir, segment_bytes } => Box::new(FileLog::open(
+                LogKind::File {
+                    dir,
+                    segment_bytes,
+                    sync,
+                } => Box::new(FileLog::open(
                     dir.join(&name).join(format!("p{p:04}")),
                     *segment_bytes,
+                    *sync,
                 )?),
             };
             parts.push(Partition::new(log));

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use strata_pubsub::{Broker, LogKind, RetentionPolicy, TopicConfig};
+use strata_pubsub::{Broker, LogKind, RetentionPolicy, SyncPolicy, TopicConfig};
 
 #[test]
 fn rebalance_mid_stream_loses_nothing_committed() {
@@ -92,6 +92,7 @@ fn file_backed_topic_round_trips_and_retains() {
                 .with_log(LogKind::File {
                     dir: dir.clone(),
                     segment_bytes: 256,
+                    sync: SyncPolicy::Never,
                 })
                 .with_retention(RetentionPolicy::default().with_max_records(64)),
         )

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use strata_pubsub::log::{FileLog, MemoryLog, PartitionLog};
 use strata_pubsub::wire;
-use strata_pubsub::{Broker, Record, StoredRecord, TopicConfig};
+use strata_pubsub::{Broker, Record, StoredRecord, SyncPolicy, TopicConfig};
 
 fn record_strategy() -> impl Strategy<Value = Record> {
     (
@@ -54,7 +54,7 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
         let mut mem = MemoryLog::new();
         {
-            let mut file = FileLog::open(&dir, segment_bytes).unwrap();
+            let mut file = FileLog::open(&dir, segment_bytes, SyncPolicy::Never).unwrap();
             for r in &records {
                 let a = mem.append(r.clone()).unwrap();
                 let b = file.append(r.clone()).unwrap();
@@ -66,7 +66,7 @@ proptest! {
             );
         }
         // Recovery sees the same contents.
-        let mut reopened = FileLog::open(&dir, segment_bytes).unwrap();
+        let mut reopened = FileLog::open(&dir, segment_bytes, SyncPolicy::Never).unwrap();
         prop_assert_eq!(
             mem.read_from(0, usize::MAX).unwrap(),
             reopened.read_from(0, usize::MAX).unwrap()

@@ -20,6 +20,16 @@ pub enum Error {
         /// Name of the node whose thread panicked.
         node: String,
     },
+    /// An operator, source or sink panicked and was caught by the
+    /// runtime's supervision: downstream nodes drained normally and
+    /// the panic surfaced here as a structured error instead of a
+    /// hung or aborted query.
+    OperatorPanicked {
+        /// Name of the node whose user code panicked.
+        node: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// A source reported a failure while producing data.
     SourceFailed {
         /// Name of the failing source node.
@@ -36,6 +46,9 @@ impl fmt::Display for Error {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::WorkerPanicked { node } => {
                 write!(f, "worker thread for node `{node}` panicked")
+            }
+            Error::OperatorPanicked { node, message } => {
+                write!(f, "operator `{node}` panicked: {message}")
             }
             Error::SourceFailed { node, reason } => {
                 write!(f, "source `{node}` failed: {reason}")
@@ -56,6 +69,12 @@ mod tests {
         assert_eq!(err.to_string(), "invalid query: no source");
         let err = Error::WorkerPanicked { node: "agg".into() };
         assert!(err.to_string().contains("agg"));
+        let err = Error::OperatorPanicked {
+            node: "agg".into(),
+            message: "boom".into(),
+        };
+        assert!(err.to_string().contains("agg"));
+        assert!(err.to_string().contains("boom"));
     }
 
     #[test]

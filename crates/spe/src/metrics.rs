@@ -19,6 +19,7 @@ pub struct NodeMetrics {
     items_in: AtomicU64,
     items_out: AtomicU64,
     watermarks_in: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl NodeMetrics {
@@ -29,6 +30,7 @@ impl NodeMetrics {
             items_in: AtomicU64::new(0),
             items_out: AtomicU64::new(0),
             watermarks_in: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 
@@ -52,6 +54,13 @@ impl NodeMetrics {
         self.watermarks_in.load(Ordering::Relaxed)
     }
 
+    /// Number of times this node's user code panicked and was caught
+    /// by the runtime's supervision. At most 1 today (a panicked node
+    /// does not restart), but kept as a counter for symmetry.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn record_in(&self, n: u64) {
         self.items_in.fetch_add(n, Ordering::Relaxed);
     }
@@ -62,6 +71,10 @@ impl NodeMetrics {
 
     pub(crate) fn record_watermark(&self) {
         self.watermarks_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -107,6 +120,20 @@ impl QueryMetrics {
         }
         Some(node.items_in() as f64 / secs)
     }
+
+    /// Total caught panics across every node of this query.
+    pub fn total_panics(&self) -> u64 {
+        self.nodes.iter().map(|n| n.panics()).sum()
+    }
+
+    /// Process-wide count of faults fired by the deterministic
+    /// fault-injection layer (`strata-chaos`). Always 0 unless the
+    /// `failpoints` feature armed the registry — i.e. in production
+    /// builds this is a constant. Exposed here so chaos runs can
+    /// correlate injected faults with the recovery counters above.
+    pub fn chaos_faults(&self) -> u64 {
+        strata_chaos::total_fired()
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +166,23 @@ mod tests {
         assert!(qm.throughput_in("nope").is_none());
         qm.node("src").unwrap().record_in(10);
         assert!(qm.throughput_in("src").unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn panic_counters_aggregate() {
+        let nodes = vec![
+            Arc::new(NodeMetrics::new("a")),
+            Arc::new(NodeMetrics::new("b")),
+        ];
+        let qm = QueryMetrics::new(nodes);
+        assert_eq!(qm.total_panics(), 0);
+        qm.node("a").unwrap().record_panic();
+        qm.node("b").unwrap().record_panic();
+        assert_eq!(qm.node("a").unwrap().panics(), 1);
+        assert_eq!(qm.total_panics(), 2);
+        // Without the failpoints feature this is a compile-time 0.
+        if !strata_chaos::is_compiled() {
+            assert_eq!(qm.chaos_faults(), 0);
+        }
     }
 }

@@ -58,25 +58,66 @@ impl Query {
     }
 
     /// Spawns one thread per node and starts processing.
+    ///
+    /// Every worker runs under panic supervision: a panic in user
+    /// code (an operator closure, a source, a sink) is caught, its
+    /// node's channels close so the rest of the graph drains
+    /// normally, and [`join`](RunningQuery::join) reports a
+    /// structured [`Error::OperatorPanicked`] instead of the query
+    /// hanging or aborting the process.
     pub fn run(self) -> RunningQuery {
-        let handles = self
-            .workers
+        let Query {
+            name,
+            workers,
+            stop,
+            metrics,
+            errors,
+        } = self;
+        let handles = workers
             .into_iter()
-            .map(|(name, worker)| {
+            .zip(metrics.iter())
+            .map(|((node_name, worker), node_metrics)| {
+                let errors = Arc::clone(&errors);
+                let node_metrics = Arc::clone(node_metrics);
+                let node = node_name.clone();
+                let supervised = move || {
+                    // AssertUnwindSafe: on panic the worker's state
+                    // (operators, channels) is dropped wholesale, so
+                    // no broken invariants can be observed afterwards.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(worker));
+                    if let Err(payload) = result {
+                        node_metrics.record_panic();
+                        errors.lock().push(Error::OperatorPanicked {
+                            node,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                };
                 let handle = std::thread::Builder::new()
-                    .name(format!("{}/{}", self.name, name))
-                    .spawn(worker)
+                    .name(format!("{name}/{node_name}"))
+                    .spawn(supervised)
                     .expect("spawning a worker thread cannot fail under normal limits");
-                (name, handle)
+                (node_name, handle)
             })
             .collect();
         RunningQuery {
-            name: self.name,
+            name,
             handles,
-            stop: self.stop,
-            metrics: QueryMetrics::new(self.metrics),
-            errors: self.errors,
+            stop,
+            metrics: QueryMetrics::new(metrics),
+            errors,
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -125,9 +166,10 @@ impl RunningQuery {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::WorkerPanicked`] if any node thread panicked,
-    /// or the first error reported by a source
-    /// ([`Error::SourceFailed`]).
+    /// Returns [`Error::OperatorPanicked`] if supervision caught a
+    /// panic in any node's user code, [`Error::WorkerPanicked`] if a
+    /// thread died outside supervision (should not happen), or the
+    /// first error reported by a source ([`Error::SourceFailed`]).
     pub fn join(self) -> Result<QueryMetrics> {
         let mut panicked = None;
         for (name, handle) in self.handles {
@@ -138,9 +180,19 @@ impl RunningQuery {
         if let Some(node) = panicked {
             return Err(Error::WorkerPanicked { node });
         }
-        if let Some(err) = self.errors.lock().first().cloned() {
+        let errors = self.errors.lock();
+        // A caught panic explains any secondary errors; report it
+        // first so callers see the root cause deterministically.
+        if let Some(panic) = errors
+            .iter()
+            .find(|e| matches!(e, Error::OperatorPanicked { .. }))
+        {
+            return Err(panic.clone());
+        }
+        if let Some(err) = errors.first().cloned() {
             return Err(err);
         }
+        drop(errors);
         Ok(self.metrics)
     }
 }
@@ -220,7 +272,17 @@ mod tests {
             x
         });
         let _out = qb.collect_sink("out", &bad);
-        let err = qb.build().unwrap().run().join().unwrap_err();
-        assert!(matches!(err, crate::error::Error::WorkerPanicked { .. }));
+        let running = qb.build().unwrap().run();
+        let metrics = running.metrics().clone();
+        let err = running.join().unwrap_err();
+        match err {
+            crate::error::Error::OperatorPanicked { node, message } => {
+                assert_eq!(node, "bad");
+                assert!(message.contains("boom"), "payload preserved: {message}");
+            }
+            other => panic!("expected OperatorPanicked, got {other:?}"),
+        }
+        assert_eq!(metrics.node("bad").unwrap().panics(), 1);
+        assert_eq!(metrics.total_panics(), 1);
     }
 }

@@ -94,19 +94,20 @@ impl WatermarkMerge {
 
 /// Receives from whichever of `rxs` is ready; `None` marks
 /// already-closed slots. Returns `(input_index, element_or_closed)`.
+/// A disconnected channel (its sender's thread exited, panicked or
+/// not) is reported as closed, never unwrapped.
 fn recv_any<T>(rxs: &[Option<Receiver<Element<T>>>]) -> (usize, Option<Element<T>>) {
     let mut sel = Select::new();
-    let mut index_map = Vec::new();
+    let mut open: Vec<(usize, &Receiver<Element<T>>)> = Vec::new();
     for (i, rx) in rxs.iter().enumerate() {
         if let Some(rx) = rx {
             sel.recv(rx);
-            index_map.push(i);
+            open.push((i, rx));
         }
     }
-    debug_assert!(!index_map.is_empty());
+    debug_assert!(!open.is_empty());
     let oper = sel.select();
-    let slot = index_map[oper.index()];
-    let rx = rxs[slot].as_ref().expect("selected receiver exists");
+    let (slot, rx) = open[oper.index()];
     match oper.recv(rx) {
         Ok(el) => (slot, Some(el)),
         Err(_) => (slot, None),
@@ -208,42 +209,40 @@ pub(crate) fn run_binary<L, R, O, Op>(
 
     loop {
         // A heterogeneous select: left and right channels carry
-        // different element types, so build the Select manually.
+        // different element types, so build the Select manually. The
+        // slot list keeps a typed reference alongside each index, so
+        // the selected receiver is recovered without unwrapping.
         let mut sel = Select::new();
-        let mut slots: Vec<usize> = Vec::new();
+        let mut slots: Vec<(usize, SideRx<'_, L, R>)> = Vec::new();
         for (i, rx) in left.iter().enumerate() {
             if let Some(rx) = rx {
                 sel.recv(rx);
-                slots.push(i);
+                slots.push((i, SideRx::Left(rx)));
             }
         }
         for (i, rx) in right.iter().enumerate() {
             if let Some(rx) = rx {
                 sel.recv(rx);
-                slots.push(left_count + i);
+                slots.push((left_count + i, SideRx::Right(rx)));
             }
         }
         debug_assert!(!slots.is_empty());
         let oper = sel.select();
-        let slot = slots[oper.index()];
+        let (slot, side) = &slots[oper.index()];
+        let slot = *slot;
         let is_left = slot < left_count;
 
-        let event: Option<ElementEvent<L, R>> = if is_left {
-            let rx = left[slot].as_ref().expect("open left receiver");
-            match oper.recv(rx) {
+        let event: Option<ElementEvent<L, R>> = match side {
+            SideRx::Left(rx) => match oper.recv(rx) {
                 Ok(Element::Item(i)) => Some(ElementEvent::Left(i)),
                 Ok(Element::Watermark(w)) => Some(ElementEvent::Watermark(w)),
                 Ok(Element::End) | Err(_) => None,
-            }
-        } else {
-            let rx = right[slot - left_count]
-                .as_ref()
-                .expect("open right receiver");
-            match oper.recv(rx) {
+            },
+            SideRx::Right(rx) => match oper.recv(rx) {
                 Ok(Element::Item(i)) => Some(ElementEvent::Right(i)),
                 Ok(Element::Watermark(w)) => Some(ElementEvent::Watermark(w)),
                 Ok(Element::End) | Err(_) => None,
-            }
+            },
         };
 
         match event {
@@ -303,6 +302,13 @@ enum ElementEvent<L, R> {
     Left(L),
     Right(R),
     Watermark(Timestamp),
+}
+
+/// A still-open input of a binary node, tagged by side so the select
+/// loop can complete the chosen operation against the right type.
+enum SideRx<'a, L, R> {
+    Left(&'a Receiver<Element<L>>),
+    Right(&'a Receiver<Element<R>>),
 }
 
 /// The worker loop for router nodes: each item goes to exactly one

@@ -27,7 +27,7 @@ fn panicking_user_function_surfaces_at_join() {
     let err = running.join().unwrap_err();
     assert!(matches!(
         err,
-        Error::Spe(strata_spe::Error::WorkerPanicked { .. })
+        Error::Spe(strata_spe::Error::OperatorPanicked { .. })
     ));
 }
 
@@ -111,7 +111,7 @@ fn unseeded_thresholds_fail_loudly_not_silently() {
     let err = running.join().unwrap_err();
     assert!(matches!(
         err,
-        Error::Spe(strata_spe::Error::WorkerPanicked { .. })
+        Error::Spe(strata_spe::Error::OperatorPanicked { .. })
     ));
 }
 
