@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the metrics layer. Instruments sit
+//! on every hot path (operator loop, broker append, kv put), so a
+//! counter increment or histogram record must cost nanoseconds, and
+//! rendering must stay cheap enough to scrape every few seconds.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use strata_obs::{Histogram, Registry};
+
+fn bench_instruments(c: &mut Criterion) {
+    let registry = Registry::new();
+    let mut group = c.benchmark_group("obs_record");
+    group.throughput(Throughput::Elements(1));
+
+    let counter = registry.counter("bench_items_total", "items", &[("node", "n0")]);
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    let gauge = registry.gauge("bench_depth", "depth", &[]);
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0i64;
+        b.iter(|| {
+            v = (v + 1) & 1023;
+            gauge.set(v);
+        })
+    });
+
+    let histogram = registry.histogram("bench_latency_ns", "latency", &[]);
+    group.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            histogram.record(v >> 40);
+        })
+    });
+    group.bench_function("histogram_record_since", |b| {
+        b.iter(|| histogram.record_since(Instant::now()))
+    });
+
+    group.finish();
+}
+
+fn bench_snapshot_and_render(c: &mut Criterion) {
+    // A registry shaped like a real instance: a few dozen histograms
+    // plus counters, all with recorded data.
+    let registry = Registry::new();
+    for q in 0..4 {
+        for n in 0..8 {
+            let node = format!("node{n}");
+            let query = format!("query{q}");
+            let labels = [("query", query.as_str()), ("node", node.as_str())];
+            let h = registry.histogram("spe_like_process_ns", "latency", &labels);
+            let items = registry.counter("spe_like_items_total", "items", &labels);
+            for i in 0..1000u64 {
+                h.record(i * 17 % 100_000);
+            }
+            items.add(1000);
+        }
+    }
+
+    let one: Histogram = registry.histogram(
+        "spe_like_process_ns",
+        "latency",
+        &[("query", "query0"), ("node", "node0")],
+    );
+    c.bench_function("obs_snapshot", |b| b.iter(|| one.snapshot()));
+
+    let mut group = c.benchmark_group("obs_render");
+    group.throughput(Throughput::Elements(32));
+    group.bench_function("32_histograms", |b| b.iter(|| registry.render()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_instruments, bench_snapshot_and_render);
+criterion_main!(benches);

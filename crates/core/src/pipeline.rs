@@ -730,6 +730,11 @@ impl PipelineBuilder {
         if self.collector_nodes > 0 {
             running.push(self.collector.build()?.run());
         }
+        // Land every module's operator metrics in the instance-wide
+        // registry so `Strata::metrics_text` covers live pipelines.
+        for query in &running {
+            query.metrics().register_into(self.broker.registry());
+        }
         Ok(DeployedPipeline { running })
     }
 }

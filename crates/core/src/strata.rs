@@ -44,9 +44,14 @@ impl Strata {
             Some(dir) => Db::open(dir, DbOptions::default())?,
             None => Db::open_in_memory(DbOptions::default())?,
         };
+        let broker = Broker::new();
+        // The broker's registry is the instance-wide one: the store
+        // (here), the pipelines (at deploy), and any net front-end (at
+        // bind) all land their metrics in it.
+        kv.register_metrics(broker.registry());
         Ok(Strata {
             config,
-            broker: Broker::new(),
+            broker,
             kv,
             pipeline_seq: Arc::new(AtomicU64::new(0)),
         })
@@ -111,6 +116,20 @@ impl Strata {
         &self.config
     }
 
+    /// The instance-wide metrics registry: broker, store, deployed
+    /// pipelines, and any net front-end bound on this broker.
+    pub fn registry(&self) -> &strata_obs::Registry {
+        self.broker.registry()
+    }
+
+    /// One Prometheus text dump covering the whole instance: pipeline
+    /// operators (`spe_*`), connector topics (`pubsub_*`), the
+    /// key-value store (`kv_*`), and — once a server is bound — the
+    /// transport (`net_*`).
+    pub fn metrics_text(&self) -> String {
+        self.broker.registry().render()
+    }
+
     /// Starts composing a new pipeline. Pipeline names may repeat;
     /// connector topics are disambiguated per instance.
     pub fn pipeline(&self, name: impl Into<String>) -> PipelineBuilder {
@@ -152,6 +171,17 @@ mod tests {
         let clone = strata.clone();
         strata.store("k", "v").unwrap();
         assert_eq!(clone.get("k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn metrics_text_covers_store_operations() {
+        let strata = Strata::new(StrataConfig::default()).unwrap();
+        strata.store("k", "v").unwrap();
+        let _ = strata.get("k").unwrap();
+        let text = strata.metrics_text();
+        assert!(text.contains("kv_put_ns_count 1"), "{text}");
+        assert!(text.contains("kv_get_ns_count 1"), "{text}");
+        assert!(text.contains("chaos_faults_total"), "{text}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 
@@ -10,6 +11,7 @@ use crate::batch::WriteBatch;
 use crate::error::{Error, Result};
 use crate::iterator::MergeIterator;
 use crate::memtable::MemTable;
+use crate::metrics::KvMetrics;
 use crate::options::DbOptions;
 use crate::sstable::{SsTable, SsTableWriter};
 use crate::wal::{Wal, WalOp};
@@ -28,6 +30,7 @@ struct DbInner {
     options: DbOptions,
     dir: Option<PathBuf>,
     state: RwLock<State>,
+    metrics: KvMetrics,
 }
 
 /// An embedded LSM-tree key-value store.
@@ -104,7 +107,7 @@ impl Db {
             None
         };
 
-        Ok(Db {
+        let db = Db {
             inner: Arc::new(DbInner {
                 options,
                 dir: Some(dir),
@@ -114,8 +117,11 @@ impl Db {
                     tables,
                     next_table_id,
                 }),
+                metrics: KvMetrics::new(),
             }),
-        })
+        };
+        db.update_gauges(&db.inner.state.read());
+        Ok(db)
     }
 
     /// Opens a purely in-memory store: no WAL, no SSTables, contents
@@ -136,8 +142,25 @@ impl Db {
                     tables: Vec::new(),
                     next_table_id: 1,
                 }),
+                metrics: KvMetrics::new(),
             }),
         })
+    }
+
+    /// Registers this store's latency histograms and size gauges into
+    /// `registry` under the `kv_*` names. Recording stays on the same
+    /// cells, so the registry renders current values from then on.
+    pub fn register_metrics(&self, registry: &strata_obs::Registry) {
+        self.inner.metrics.register_into(registry);
+    }
+
+    /// Refreshes the size gauges from the locked state.
+    fn update_gauges(&self, state: &State) {
+        self.inner.metrics.sstables.set(state.tables.len() as i64);
+        self.inner
+            .metrics
+            .memtable_bytes
+            .set(state.memtable.approximate_bytes() as i64);
     }
 
     fn table_path(dir: &Path, id: u64) -> PathBuf {
@@ -150,13 +173,20 @@ impl Db {
     ///
     /// I/O failures (WAL append or a triggered flush/compaction).
     pub fn put(&self, key: impl AsRef<[u8]>, value: impl AsRef<[u8]>) -> Result<()> {
+        let started = Instant::now();
         let (key, value) = (key.as_ref(), value.as_ref());
         let mut state = self.inner.state.write();
-        if let Some(wal) = &mut state.wal {
-            wal.log_put(key, value)?;
-        }
-        state.memtable.put(key, value);
-        self.maybe_flush(&mut state)
+        let result = (|| {
+            if let Some(wal) = &mut state.wal {
+                wal.log_put(key, value)?;
+            }
+            state.memtable.put(key, value);
+            self.maybe_flush(&mut state)
+        })();
+        self.update_gauges(&state);
+        drop(state);
+        self.inner.metrics.put_ns.record_since(started);
+        result
     }
 
     /// Deletes `key` (writing a tombstone).
@@ -165,13 +195,21 @@ impl Db {
     ///
     /// I/O failures.
     pub fn delete(&self, key: impl AsRef<[u8]>) -> Result<()> {
+        let started = Instant::now();
         let key = key.as_ref();
         let mut state = self.inner.state.write();
-        if let Some(wal) = &mut state.wal {
-            wal.log_delete(key)?;
-        }
-        state.memtable.delete(key);
-        self.maybe_flush(&mut state)
+        let result = (|| {
+            if let Some(wal) = &mut state.wal {
+                wal.log_delete(key)?;
+            }
+            state.memtable.delete(key);
+            self.maybe_flush(&mut state)
+        })();
+        self.update_gauges(&state);
+        drop(state);
+        // Tombstone writes share the put latency series.
+        self.inner.metrics.put_ns.record_since(started);
+        result
     }
 
     /// Applies a [`WriteBatch`] atomically.
@@ -181,22 +219,29 @@ impl Db {
     /// I/O failures; on a WAL error no operation of the batch is
     /// applied.
     pub fn write(&self, batch: WriteBatch) -> Result<()> {
+        let started = Instant::now();
         let mut state = self.inner.state.write();
-        if let Some(wal) = &mut state.wal {
-            for (key, value) in &batch.ops {
-                match value {
-                    Some(value) => wal.log_put(key, value)?,
-                    None => wal.log_delete(key)?,
+        let result = (|| {
+            if let Some(wal) = &mut state.wal {
+                for (key, value) in &batch.ops {
+                    match value {
+                        Some(value) => wal.log_put(key, value)?,
+                        None => wal.log_delete(key)?,
+                    }
                 }
             }
-        }
-        for (key, value) in &batch.ops {
-            match value {
-                Some(value) => state.memtable.put(key, value),
-                None => state.memtable.delete(key),
-            };
-        }
-        self.maybe_flush(&mut state)
+            for (key, value) in &batch.ops {
+                match value {
+                    Some(value) => state.memtable.put(key, value),
+                    None => state.memtable.delete(key),
+                };
+            }
+            self.maybe_flush(&mut state)
+        })();
+        self.update_gauges(&state);
+        drop(state);
+        self.inner.metrics.put_ns.record_since(started);
+        result
     }
 
     /// Looks up `key`, returning the most recent version across the
@@ -206,17 +251,23 @@ impl Db {
     ///
     /// [`Error::Corrupt`] or I/O failures while reading tables.
     pub fn get(&self, key: impl AsRef<[u8]>) -> Result<Option<Vec<u8>>> {
+        let started = Instant::now();
         let key = key.as_ref();
         let state = self.inner.state.read();
-        if let Some(hit) = state.memtable.get(key) {
-            return Ok(hit.map(<[u8]>::to_vec));
-        }
-        for table in &state.tables {
-            if let Some(hit) = table.get(key)? {
-                return Ok(hit);
+        let result = (|| {
+            if let Some(hit) = state.memtable.get(key) {
+                return Ok(hit.map(<[u8]>::to_vec));
             }
-        }
-        Ok(None)
+            for table in &state.tables {
+                if let Some(hit) = table.get(key)? {
+                    return Ok(hit);
+                }
+            }
+            Ok(None)
+        })();
+        drop(state);
+        self.inner.metrics.get_ns.record_since(started);
+        result
     }
 
     /// All live `(key, value)` pairs with keys in `[start, end)`, in
@@ -315,6 +366,7 @@ impl Db {
         if state.memtable.is_empty() {
             return Ok(());
         }
+        let started = Instant::now();
         let dir = self.inner.dir.as_ref().expect("disk mode checked");
         let entries = state.memtable.take_entries();
         let id = state.next_table_id;
@@ -340,6 +392,8 @@ impl Db {
                 self.inner.options.sync_policy_value(),
             )?);
         }
+        self.update_gauges(state);
+        self.inner.metrics.flush_ns.record_since(started);
         Ok(())
     }
 
@@ -347,6 +401,7 @@ impl Db {
         if state.tables.len() < 2 {
             return Ok(());
         }
+        let started = Instant::now();
         let dir = self.inner.dir.as_ref().expect("disk mode checked");
         let mut sources = Vec::with_capacity(state.tables.len());
         let mut expected = 0usize;
@@ -379,6 +434,8 @@ impl Db {
         // Persist the removals so a crash cannot resurrect stale
         // tables next to the merged one.
         strata_chaos::fsync_dir(dir)?;
+        self.update_gauges(state);
+        self.inner.metrics.compact_ns.record_since(started);
         Ok(())
     }
 }
@@ -585,6 +642,26 @@ mod tests {
         for t in 0..4 {
             assert_eq!(db.scan_prefix(format!("t{t}/")).unwrap().len(), 500);
         }
+    }
+
+    #[test]
+    fn metrics_register_and_track_operations() {
+        let dir = temp_dir("metrics");
+        let _ = fs::remove_dir_all(&dir);
+        let db = Db::open(&dir, small_options()).unwrap();
+        let registry = strata_obs::Registry::new();
+        db.register_metrics(&registry);
+        db.put("k", "v").unwrap();
+        let _ = db.get("k").unwrap();
+        let _ = db.get("missing").unwrap();
+        db.flush().unwrap();
+        let text = registry.render();
+        assert!(text.contains("kv_put_ns_count 1"), "{text}");
+        assert!(text.contains("kv_get_ns_count 2"), "{text}");
+        assert!(text.contains("kv_flush_ns_count 1"), "{text}");
+        assert!(text.contains("kv_sstables 1"), "{text}");
+        assert!(text.contains("kv_memtable_bytes 0"), "{text}");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

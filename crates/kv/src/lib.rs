@@ -39,6 +39,7 @@ pub mod db;
 pub mod error;
 pub mod iterator;
 pub mod memtable;
+pub(crate) mod metrics;
 pub mod options;
 pub mod sstable;
 pub mod wal;

@@ -1,0 +1,63 @@
+//! Store-level metrics: operation latency histograms and size gauges.
+//!
+//! Every [`Db`](crate::Db) records into its own handles whether or
+//! not anything scrapes them; [`Db::register_metrics`] additionally
+//! lands them in a shared `strata-obs` registry under `kv_*` names.
+
+use strata_obs::{Gauge, Histogram, Registry};
+
+pub(crate) struct KvMetrics {
+    pub(crate) get_ns: Histogram,
+    pub(crate) put_ns: Histogram,
+    pub(crate) flush_ns: Histogram,
+    pub(crate) compact_ns: Histogram,
+    pub(crate) sstables: Gauge,
+    pub(crate) memtable_bytes: Gauge,
+}
+
+impl KvMetrics {
+    pub(crate) fn new() -> Self {
+        KvMetrics {
+            get_ns: Histogram::new(),
+            put_ns: Histogram::new(),
+            flush_ns: Histogram::new(),
+            compact_ns: Histogram::new(),
+            sstables: Gauge::new(),
+            memtable_bytes: Gauge::new(),
+        }
+    }
+
+    pub(crate) fn register_into(&self, registry: &Registry) {
+        registry.register_histogram("kv_get_ns", "Point-lookup latency", &[], &self.get_ns);
+        registry.register_histogram(
+            "kv_put_ns",
+            "Write latency including WAL append and any triggered flush",
+            &[],
+            &self.put_ns,
+        );
+        registry.register_histogram(
+            "kv_flush_ns",
+            "Memtable-to-SSTable flush latency",
+            &[],
+            &self.flush_ns,
+        );
+        registry.register_histogram(
+            "kv_compact_ns",
+            "Full compaction latency",
+            &[],
+            &self.compact_ns,
+        );
+        registry.register_gauge(
+            "kv_sstables",
+            "SSTables currently on disk",
+            &[],
+            &self.sstables,
+        );
+        registry.register_gauge(
+            "kv_memtable_bytes",
+            "Approximate bytes buffered in the memtable",
+            &[],
+            &self.memtable_bytes,
+        );
+    }
+}

@@ -209,6 +209,19 @@ impl BrokerClient {
         }
     }
 
+    /// A Prometheus text dump of the server's metrics registry,
+    /// covering the broker, its topics, and the transport itself.
+    ///
+    /// # Errors
+    ///
+    /// Broker or transport errors.
+    pub fn metrics_text(&mut self) -> NetResult<String> {
+        match self.request(&Request::Metrics)? {
+            Response::MetricsText(text) => Ok(text),
+            other => Err(unexpected("MetricsText", &other)),
+        }
+    }
+
     /// The total backlog of `group` on `topic`.
     ///
     /// # Errors

@@ -94,6 +94,9 @@ pub enum Request {
         /// Topic.
         topic: String,
     },
+    /// Asks for a Prometheus text dump of the server's metrics
+    /// registry.
+    Metrics,
 }
 
 /// Per-partition metadata in a [`Response::Metadata`].
@@ -138,6 +141,8 @@ pub enum Response {
     Metadata(Vec<TopicInfo>),
     /// Consumer lag of a group on a topic.
     Lag(u64),
+    /// A Prometheus text dump of the server's metrics registry.
+    MetricsText(String),
     /// The request failed broker-side.
     Error {
         /// Error category.
@@ -250,6 +255,20 @@ fn read_string(r: &mut Reader<'_>) -> NetResult<String> {
         .map_err(|_| NetError::Corrupt("string field is not utf-8".into()))
 }
 
+/// Long-string encoding (`u32 len · utf-8`) for payloads that can
+/// exceed the `u16` cap of [`put_string`], such as metrics dumps.
+fn put_long_string(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn read_long_string(r: &mut Reader<'_>) -> NetResult<String> {
+    let len = r.u32()? as usize;
+    let bytes = r.bytes(len)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| NetError::Corrupt("string field is not utf-8".into()))
+}
+
 /// Encodes a record without an offset (the `Produce` payload) by
 /// reusing the stored-record framing with a zero placeholder offset.
 fn put_record(buf: &mut Vec<u8>, record: &Record) {
@@ -279,6 +298,7 @@ const REQ_COMMIT_OFFSET: u8 = 4;
 const REQ_FETCH_OFFSET: u8 = 5;
 const REQ_METADATA: u8 = 6;
 const REQ_CONSUMER_LAG: u8 = 7;
+const REQ_METRICS: u8 = 8;
 
 const RESP_CREATED: u8 = 1;
 const RESP_PRODUCED: u8 = 2;
@@ -288,6 +308,7 @@ const RESP_COMMITTED_OFFSET: u8 = 5;
 const RESP_METADATA: u8 = 6;
 const RESP_LAG: u8 = 7;
 const RESP_ERROR: u8 = 8;
+const RESP_METRICS_TEXT: u8 = 9;
 
 /// Explicit-partition marker in `Produce` (1 = explicit, 0 = auto).
 const PARTITION_EXPLICIT: u8 = 1;
@@ -369,6 +390,7 @@ impl Request {
                 put_string(&mut buf, group);
                 put_string(&mut buf, topic);
             }
+            Request::Metrics => buf.push(REQ_METRICS),
         }
         buf
     }
@@ -433,6 +455,7 @@ impl Request {
                 group: read_string(&mut r)?,
                 topic: read_string(&mut r)?,
             },
+            REQ_METRICS => Request::Metrics,
             other => return Err(NetError::Protocol(format!("unknown request type {other}"))),
         };
         expect_consumed(&r)?;
@@ -480,6 +503,10 @@ impl Response {
             Response::Lag(lag) => {
                 buf.push(RESP_LAG);
                 put_u64(&mut buf, *lag);
+            }
+            Response::MetricsText(text) => {
+                buf.push(RESP_METRICS_TEXT);
+                put_long_string(&mut buf, text);
             }
             Response::Error {
                 code,
@@ -551,6 +578,7 @@ impl Response {
                 Response::Metadata(topics)
             }
             RESP_LAG => Response::Lag(r.u64()?),
+            RESP_METRICS_TEXT => Response::MetricsText(read_long_string(&mut r)?),
             RESP_ERROR => {
                 let raw_code = r.u16()?;
                 let code = ErrorCode::from_u16(raw_code)
@@ -646,6 +674,7 @@ mod tests {
                 group: "g".into(),
                 topic: "t".into(),
             },
+            Request::Metrics,
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -684,6 +713,10 @@ mod tests {
                 }],
             }]),
             Response::Lag(1234),
+            Response::MetricsText("# TYPE x counter\nx 1\n".into()),
+            // Metrics dumps routinely exceed the u16 short-string cap;
+            // the long-string framing must carry them intact.
+            Response::MetricsText("m".repeat(100_000)),
             Response::Error {
                 code: ErrorCode::OffsetOutOfRange,
                 message: String::new(),

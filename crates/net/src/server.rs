@@ -20,6 +20,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use strata_obs::{Counter, Gauge, Histogram, Registry};
 use strata_pubsub::{Broker, Producer, TopicConfig};
 
 use crate::codec;
@@ -73,6 +74,68 @@ struct Shared {
     stop: AtomicBool,
     connections: AtomicU64,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    metrics: ServerMetrics,
+}
+
+/// Server-side metrics, registered into the broker's registry at bind
+/// so a single `Metrics` request (or `Registry::render`) covers the
+/// transport alongside the broker it fronts.
+struct ServerMetrics {
+    active_connections: Gauge,
+    connections_total: Counter,
+    create_topic_ns: Histogram,
+    produce_ns: Histogram,
+    fetch_ns: Histogram,
+    commit_offset_ns: Histogram,
+    fetch_offset_ns: Histogram,
+    metadata_ns: Histogram,
+    consumer_lag_ns: Histogram,
+    metrics_ns: Histogram,
+}
+
+impl ServerMetrics {
+    fn new(registry: &Registry) -> Self {
+        let request_ns = |op: &str| {
+            registry.histogram(
+                "net_request_ns",
+                "Server-side request handling latency",
+                &[("op", op)],
+            )
+        };
+        ServerMetrics {
+            active_connections: registry.gauge(
+                "net_active_connections",
+                "Currently open client connections",
+                &[],
+            ),
+            connections_total: registry.counter(
+                "net_connections_total",
+                "Connections accepted over the server's lifetime",
+                &[],
+            ),
+            create_topic_ns: request_ns("create_topic"),
+            produce_ns: request_ns("produce"),
+            fetch_ns: request_ns("fetch"),
+            commit_offset_ns: request_ns("commit_offset"),
+            fetch_offset_ns: request_ns("fetch_offset"),
+            metadata_ns: request_ns("metadata"),
+            consumer_lag_ns: request_ns("consumer_lag"),
+            metrics_ns: request_ns("metrics"),
+        }
+    }
+
+    fn for_request(&self, request: &Request) -> &Histogram {
+        match request {
+            Request::CreateTopic { .. } => &self.create_topic_ns,
+            Request::Produce { .. } => &self.produce_ns,
+            Request::Fetch { .. } => &self.fetch_ns,
+            Request::CommitOffset { .. } => &self.commit_offset_ns,
+            Request::FetchOffset { .. } => &self.fetch_offset_ns,
+            Request::Metadata { .. } => &self.metadata_ns,
+            Request::ConsumerLag { .. } => &self.consumer_lag_ns,
+            Request::Metrics => &self.metrics_ns,
+        }
+    }
 }
 
 impl BrokerServer {
@@ -98,12 +161,14 @@ impl BrokerServer {
     ) -> NetResult<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics = ServerMetrics::new(broker.registry());
         let shared = Arc::new(Shared {
             broker,
             config,
             stop: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             handlers: Mutex::new(Vec::new()),
+            metrics,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -169,6 +234,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             break; // The shutdown self-connection (or a late client).
         }
         shared.connections.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.connections_total.inc();
         let conn_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("strata-net-conn".into())
@@ -191,6 +257,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     // One producer per connection so keyless round-robin state is
     // connection-local, like an in-process producer handle.
     let producer = shared.broker.producer();
+    shared.metrics.active_connections.add(1);
     while !shared.stop.load(Ordering::SeqCst) {
         let request = match codec::read_request(&mut stream) {
             Ok(request) => request,
@@ -219,10 +286,13 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             break;
         }
     }
+    shared.metrics.active_connections.sub(1);
 }
 
 /// Executes one request against the broker.
 fn serve(shared: &Shared, producer: &Producer, request: Request) -> Response {
+    let started = Instant::now();
+    let latency = shared.metrics.for_request(&request).clone();
     let broker = &shared.broker;
     let result = match request {
         Request::CreateTopic { topic, partitions } => broker
@@ -266,8 +336,11 @@ fn serve(shared: &Shared, producer: &Producer, request: Request) -> Response {
         Request::ConsumerLag { group, topic } => {
             broker.consumer_lag(&group, &topic).map(Response::Lag)
         }
+        Request::Metrics => Ok(Response::MetricsText(broker.registry().render())),
     };
-    result.unwrap_or_else(|err| Response::from_broker_error(&err))
+    let response = result.unwrap_or_else(|err| Response::from_broker_error(&err));
+    latency.record_since(started);
+    response
 }
 
 /// A fetch with a long-poll budget: empty reads wait on the broker's
@@ -423,6 +496,22 @@ mod tests {
                 assert_eq!(topics[0].partitions[1].end, 1);
             }
             other => panic!("expected metadata, got {other:?}"),
+        }
+
+        match roundtrip(&mut stream, &Request::Metrics) {
+            Response::MetricsText(text) => {
+                assert!(text.contains("net_active_connections 1"), "{text}");
+                assert!(text.contains("net_connections_total 1"), "{text}");
+                assert!(
+                    text.contains("net_request_ns_count{op=\"produce\"} 1"),
+                    "{text}"
+                );
+                assert!(
+                    text.contains("pubsub_topic_records_in_total{topic=\"t\"} 1"),
+                    "{text}"
+                );
+            }
+            other => panic!("expected metrics text, got {other:?}"),
         }
 
         server.shutdown();

@@ -82,6 +82,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             .prop_map(|topics| Request::Metadata { topics }),
         ("[a-z]{1,12}", "[a-z.]{1,16}")
             .prop_map(|(group, topic)| Request::ConsumerLag { group, topic }),
+        Just(Request::Metrics),
     ]
 }
 
@@ -129,6 +130,10 @@ fn response_strategy() -> impl Strategy<Value = Response> {
                 message,
                 context,
             }),
+        // Short bodies plus a repeated tail that pushes past the u16
+        // short-string cap, exercising the long-string framing.
+        ("[ -~\n]{0,64}", 0usize..100_000usize)
+            .prop_map(|(head, tail)| Response::MetricsText(format!("{head}{}", "m".repeat(tail)))),
     ]
 }
 

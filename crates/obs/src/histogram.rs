@@ -1,0 +1,225 @@
+//! A fixed-bucket log₂ histogram for latency and size distributions.
+//!
+//! Values are `u64` (nanoseconds by convention for latency metrics —
+//! names carry a `_ns` suffix). Bucket `0` holds exactly the value
+//! `0`; bucket `i` (for `i ≥ 1`) holds values in `[2^(i-1), 2^i)`,
+//! so the 65 buckets cover the full `u64` range with ≤ 2× relative
+//! quantile error — plenty for the paper's p50/p95/p99 tables, and
+//! cheap enough (one `fetch_add` into a fixed array) to record per
+//! item on the data plane.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct Cells {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free log₂ histogram. Clones share the same cells.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    cells: Arc<Cells>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value: `0` for zero, else `64 - leading_zeros`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket: `2^i - 1` (bucket 0 holds 0).
+#[inline]
+pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            cells: Arc::new(Cells {
+                buckets: [0u64; BUCKETS].map(AtomicU64::new),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation. Lock-free: three relaxed atomics.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(value, Ordering::Relaxed);
+        self.cells.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records the nanoseconds elapsed since `started`.
+    #[inline]
+    pub fn record_since(&self, started: Instant) {
+        self.record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the distribution.
+    ///
+    /// Buckets are read individually with relaxed loads, so a snapshot
+    /// taken concurrently with recording may be mid-update — fine for
+    /// monitoring, which only ever sees a recent consistent-enough
+    /// view.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (slot, cell) in buckets.iter_mut().zip(self.cells.buckets.iter()) {
+            *slot = cell.load(Ordering::Relaxed);
+            count += *slot;
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.cells.sum.load(Ordering::Relaxed),
+            max: self.cells.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of a [`Histogram`], with quantile estimates.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (wraps only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all recorded values, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Per-bucket counts (bucket `i` covers `[2^(i-1), 2^i)`).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// An upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`).
+    ///
+    /// Returns the inclusive upper bound of the first bucket whose
+    /// cumulative count reaches `ceil(q * count)`, capped at the exact
+    /// recorded maximum — so the estimate overshoots by at most 2×
+    /// and `quantile(1.0) == max()`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets()[0], 1);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.max(), 0);
+        assert_eq!(snap.p99(), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_half_open_powers_of_two() {
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_cap_at_exact_max() {
+        let h = Histogram::new();
+        h.record(1000);
+        let snap = h.snapshot();
+        // Bucket upper bound is 1023, but the true max is 1000.
+        assert_eq!(snap.p50(), 1000);
+        assert_eq!(snap.max(), 1000);
+    }
+
+    #[test]
+    fn mean_and_sum_are_exact() {
+        let h = Histogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.sum(), 60);
+        assert_eq!(snap.mean(), 20);
+        assert_eq!(snap.count(), 3);
+    }
+}

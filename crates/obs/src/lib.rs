@@ -1,0 +1,41 @@
+//! Unified observability primitives for the STRATA stack.
+//!
+//! The paper's entire evaluation is latency and throughput measured
+//! *inside* the pipeline, so every layer of this workspace records
+//! into one shared substrate:
+//!
+//! - [`Counter`] — a monotone event count (items, bytes, requests).
+//! - [`Gauge`] — a signed instantaneous value (queue depth, open
+//!   connections, memtable bytes).
+//! - [`Histogram`] — a fixed 65-bucket log₂ histogram for latency
+//!   and size distributions, with [`HistogramSnapshot`] quantiles
+//!   (p50/p95/p99/max).
+//! - [`Registry`] — a named, labelled collection of the above that
+//!   renders the Prometheus text exposition format.
+//!
+//! The hot path is lock-free: every `inc`/`record` is a handful of
+//! relaxed atomic adds on `Arc`-shared cells, so operators can record
+//! per-item without a mutex in the data plane. The registry's mutex
+//! is touched only at registration and render time.
+//!
+//! ```
+//! use strata_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let items = registry.counter("items_total", "Items processed", &[("node", "map")]);
+//! let latency = registry.histogram("process_ns", "Per-item latency", &[]);
+//! items.inc();
+//! latency.record(1_200);
+//! let text = registry.render();
+//! assert!(text.contains("items_total{node=\"map\"} 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod histogram;
+mod metrics;
+mod registry;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use metrics::{Counter, Gauge};
+pub use registry::Registry;

@@ -1,0 +1,368 @@
+//! A named, labelled metric collection with Prometheus exposition.
+//!
+//! The registry is a `BTreeMap` behind a mutex, touched only at
+//! registration and render time — recording goes straight through the
+//! lock-free handles. Cloning a `Registry` shares the underlying map,
+//! so one registry can be threaded through the broker, the kv store,
+//! the SPE queries and the net server, and a single
+//! [`render`](Registry::render) dumps the whole process.
+//!
+//! Exposition follows the Prometheus text format: families sorted by
+//! name, one `# HELP`/`# TYPE` pair per family, label values escaped
+//! (`\\`, `\"`, `\n`), histograms expanded into cumulative
+//! `_bucket{le="..."}` series plus `_sum` and `_count`. The output is
+//! deterministic for a given set of recorded values, which is what
+//! lets the golden-file test pin it down.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::histogram::bucket_upper_bound;
+use crate::{Counter, Gauge, Histogram, BUCKETS};
+
+/// Metric identity: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Handle {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    help: String,
+    handle: Handle,
+}
+
+/// A shared collection of named metrics. Clones share the same map.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<Key, Entry>>>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut owned: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    owned.sort();
+    owned
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name` + `labels`,
+    /// creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name + labels is already registered as a
+    /// different metric type — that is a programming error, not a
+    /// runtime condition.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let entry = self.get_or_insert(name, help, labels, || Handle::Counter(Counter::new()));
+        match entry {
+            Handle::Counter(c) => c,
+            other => panic!(
+                "metric {name} already registered as a {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Returns the gauge registered under `name` + `labels`, creating
+    /// it on first use. Panics on a type clash, like
+    /// [`counter`](Registry::counter).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let entry = self.get_or_insert(name, help, labels, || Handle::Gauge(Gauge::new()));
+        match entry {
+            Handle::Gauge(g) => g,
+            other => panic!(
+                "metric {name} already registered as a {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Returns the histogram registered under `name` + `labels`,
+    /// creating it on first use. Panics on a type clash, like
+    /// [`counter`](Registry::counter).
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        let entry = self.get_or_insert(name, help, labels, || Handle::Histogram(Histogram::new()));
+        match entry {
+            Handle::Histogram(h) => h,
+            other => panic!(
+                "metric {name} already registered as a {}",
+                other.type_name()
+            ),
+        }
+    }
+
+    /// Registers a pre-existing counter handle (replacing any previous
+    /// registration under the same name + labels). Used by components
+    /// that create their handles before a registry exists.
+    pub fn register_counter(&self, name: &str, help: &str, labels: &[(&str, &str)], c: &Counter) {
+        self.insert(name, help, labels, Handle::Counter(c.clone()));
+    }
+
+    /// Registers a pre-existing gauge handle, replacing any previous
+    /// registration under the same name + labels.
+    pub fn register_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], g: &Gauge) {
+        self.insert(name, help, labels, Handle::Gauge(g.clone()));
+    }
+
+    /// Registers a pre-existing histogram handle, replacing any
+    /// previous registration under the same name + labels.
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        h: &Histogram,
+    ) {
+        self.insert(name, help, labels, Handle::Histogram(h.clone()));
+    }
+
+    fn insert(&self, name: &str, help: &str, labels: &[(&str, &str)], handle: Handle) {
+        let key = Key {
+            name: name.to_string(),
+            labels: owned_labels(labels),
+        };
+        self.inner.lock().insert(
+            key,
+            Entry {
+                help: help.to_string(),
+                handle,
+            },
+        );
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let key = Key {
+            name: name.to_string(),
+            labels: owned_labels(labels),
+        };
+        let mut map = self.inner.lock();
+        map.entry(key)
+            .or_insert_with(|| Entry {
+                help: help.to_string(),
+                handle: make(),
+            })
+            .handle
+            .clone()
+    }
+
+    /// Renders the Prometheus text exposition format.
+    ///
+    /// Families are sorted by name; within a family, label sets are
+    /// sorted. The process-wide `chaos_faults_total` counter (from
+    /// `strata-chaos`) is folded in at its sorted position so fault
+    /// injection shows up in the same dump as the latencies it causes.
+    pub fn render(&self) -> String {
+        // help text, exposition type, and (label set, rendered body)
+        // per series, keyed by family name.
+        type Family = (String, &'static str, Vec<(String, String)>);
+        let map = self.inner.lock();
+        let mut families: BTreeMap<String, Family> = BTreeMap::new();
+        for (key, entry) in map.iter() {
+            let labels = format_labels(&key.labels);
+            let body = render_value(&key.name, &labels, &key.labels, &entry.handle);
+            families
+                .entry(key.name.clone())
+                .or_insert_with(|| (entry.help.clone(), entry.handle.type_name(), Vec::new()))
+                .2
+                .push((labels, body));
+        }
+        drop(map);
+        families.entry("chaos_faults_total".to_string()).or_insert((
+            "Total faults fired by the strata-chaos failpoint registry".to_string(),
+            "counter",
+            vec![(
+                String::new(),
+                format!("chaos_faults_total {}\n", strata_chaos::total_fired()),
+            )],
+        ));
+
+        let mut out = String::new();
+        for (name, (help, type_name, series)) in families {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&help));
+            let _ = writeln!(out, "# TYPE {name} {type_name}");
+            for (_, body) in series {
+                out.push_str(&body);
+            }
+        }
+        out
+    }
+}
+
+/// Renders one metric's sample lines (ends with a newline).
+fn render_value(
+    name: &str,
+    formatted_labels: &str,
+    labels: &[(String, String)],
+    handle: &Handle,
+) -> String {
+    match handle {
+        Handle::Counter(c) => format!("{name}{formatted_labels} {}\n", c.get()),
+        Handle::Gauge(g) => format!("{name}{formatted_labels} {}\n", g.get()),
+        Handle::Histogram(h) => {
+            let snap = h.snapshot();
+            let mut out = String::new();
+            let highest = (0..BUCKETS).rev().find(|&i| snap.buckets()[i] > 0);
+            let mut cumulative = 0u64;
+            if let Some(highest) = highest {
+                for (i, &n) in snap.buckets().iter().enumerate().take(highest + 1) {
+                    cumulative += n;
+                    let le = bucket_upper_bound(i);
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{} {cumulative}",
+                        with_le(labels, &le.to_string())
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {}",
+                with_le(labels, "+Inf"),
+                snap.count()
+            );
+            let _ = writeln!(out, "{name}_sum{formatted_labels} {}", snap.sum());
+            let _ = writeln!(out, "{name}_count{formatted_labels} {}", snap.count());
+            out
+        }
+    }
+}
+
+/// Formats a label set as `{k="v",...}`, empty string when no labels.
+fn format_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Formats labels plus the histogram `le` bound.
+fn with_le(labels: &[(String, String)], le: &str) -> String {
+    let mut out = String::from("{");
+    for (k, v) in labels {
+        let _ = write!(out, "{k}=\"{}\",", escape_label(v));
+    }
+    let _ = write!(out, "le=\"{le}\"}}");
+    out
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes a help string: backslash, newline.
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x", &[]);
+        let b = r.counter("x_total", "ignored on re-get", &[]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn labels_distinguish_series() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x", &[("node", "a")]);
+        let b = r.counter("x_total", "x", &[("node", "b")]);
+        a.inc();
+        assert_eq!(b.get(), 0);
+        let text = r.render();
+        assert!(text.contains("x_total{node=\"a\"} 1"));
+        assert!(text.contains("x_total{node=\"b\"} 0"));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x", &[("b", "2"), ("a", "1")]);
+        let b = r.counter("x_total", "x", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "label order must not split the series");
+        assert!(r.render().contains("x_total{a=\"1\",b=\"2\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_clash_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x", "x", &[]);
+        let _ = r.gauge("x", "x", &[]);
+    }
+
+    #[test]
+    fn chaos_counter_is_always_present() {
+        let text = Registry::new().render();
+        assert!(text.contains("# TYPE chaos_faults_total counter"));
+        assert!(text.contains("chaos_faults_total "));
+    }
+
+    #[test]
+    fn render_sorts_families_by_name() {
+        let r = Registry::new();
+        let _ = r.counter("zz_total", "z", &[]);
+        let _ = r.gauge("aa_depth", "a", &[]);
+        let text = r.render();
+        let aa = text.find("# TYPE aa_depth").unwrap();
+        let chaos = text.find("# TYPE chaos_faults_total").unwrap();
+        let zz = text.find("# TYPE zz_total").unwrap();
+        assert!(
+            aa < chaos && chaos < zz,
+            "families sorted, chaos merged in place"
+        );
+    }
+}

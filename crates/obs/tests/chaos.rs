@@ -1,0 +1,106 @@
+//! Metric recording under fault injection.
+//!
+//! The obs hot path must stay lock-free even while failpoints fire in
+//! the same threads (the kv store and broker record latencies around
+//! fsync calls whose failpoints are armed by the chaos suite). Eight
+//! writer threads interleave histogram/counter recording with an
+//! armed fsync-style failpoint while the main thread renders the
+//! registry in a loop: nothing may deadlock, and no count may be
+//! lost.
+//!
+//! Runs in its own binary (its armed scenario must not leak into the
+//! golden exposition test's `chaos_faults_total` sample).
+
+use std::io::ErrorKind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use strata_chaos::{fired, Fault, Scenario};
+use strata_obs::Registry;
+
+/// Seeded probability trigger: same seed, same fault schedule.
+const CHAOS_SEED: u64 = 0xB5_0B5;
+
+#[test]
+fn recording_never_deadlocks_while_fsync_failpoints_fire() {
+    if !strata_chaos::is_compiled() {
+        return;
+    }
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let s = Scenario::setup();
+    s.fail_with_probability(
+        "obs.test.sync",
+        0.2,
+        CHAOS_SEED,
+        Fault::Io(ErrorKind::Other),
+    );
+
+    let registry = Registry::new();
+    let latency = registry.histogram("sync_ns", "Latency around a faulty fsync", &[]);
+    let failures = registry.counter("sync_failures_total", "Failed fsyncs", &[]);
+
+    let stop_rendering = Arc::new(AtomicBool::new(false));
+    let renderer = {
+        let registry = registry.clone();
+        let stop = Arc::clone(&stop_rendering);
+        std::thread::spawn(move || {
+            let mut renders = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let text = registry.render();
+                assert!(text.contains("sync_ns_count"));
+                renders += 1;
+            }
+            renders
+        })
+    };
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let latency = latency.clone();
+            let failures = failures.clone();
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    let started = Instant::now();
+                    // The instrumented-fsync shape: hit the failpoint,
+                    // record the outcome and the elapsed time.
+                    if strata_chaos::fail_point("obs.test.sync").is_err() {
+                        failures.inc();
+                    }
+                    latency.record_since(started);
+                }
+            })
+        })
+        .collect();
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for handle in writers {
+        assert!(
+            Instant::now() < deadline,
+            "writers wedged while failpoints were armed"
+        );
+        handle.join().unwrap();
+    }
+    stop_rendering.store(true, Ordering::Relaxed);
+    let renders = renderer.join().unwrap();
+    assert!(renders > 0, "the renderer made progress throughout");
+
+    let snap = latency.snapshot();
+    assert_eq!(
+        snap.count(),
+        THREADS * PER_THREAD,
+        "every observation recorded despite the armed failpoint"
+    );
+    assert!(
+        fired("obs.test.sync") >= 1,
+        "the seeded schedule fired at least once"
+    );
+    assert_eq!(
+        failures.get(),
+        fired("obs.test.sync"),
+        "each fired fault was counted exactly once"
+    );
+    drop(s);
+}

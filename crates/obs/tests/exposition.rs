@@ -1,0 +1,89 @@
+//! Golden-file test of the Prometheus text exposition: stable family
+//! ordering, correct `# TYPE` lines, label escaping, and histogram
+//! bucket expansion are all pinned byte-for-byte.
+//!
+//! Runs in its own test binary so no chaos scenario from another
+//! suite can perturb the `chaos_faults_total` sample.
+
+use strata_obs::Registry;
+
+/// Builds the registry the golden file was rendered from.
+///
+/// Registration order is deliberately scrambled relative to the
+/// expected output: render must sort, not echo insertion order.
+fn golden_registry() -> Registry {
+    let registry = Registry::new();
+
+    let latency = registry.histogram(
+        "pipeline_process_ns",
+        "Per-item processing latency",
+        &[("node", "detect"), ("query", "monitor")],
+    );
+    for v in [0, 1, 2, 3, 700, 900] {
+        latency.record(v);
+    }
+    let empty = registry.histogram("idle_wait_ns", "Never recorded", &[]);
+    drop(empty);
+
+    let depth = registry.gauge("queue_depth", "Items queued", &[("node", "sink")]);
+    depth.set(-3);
+
+    // Label values exercising every escape: backslash, quote, newline.
+    let odd = registry.counter(
+        "records_total",
+        "Records by source path",
+        &[("path", "C:\\data\n\"raw\"")],
+    );
+    odd.add(7);
+    let plain = registry.counter("records_total", "Records by source path", &[("path", "a")]);
+    plain.add(2);
+
+    // Help text with a backslash and a newline, escaped in # HELP.
+    let _ = registry.counter("weird_help_total", "first\\line\nsecond", &[]);
+    registry
+}
+
+#[test]
+fn exposition_matches_the_golden_file() {
+    let rendered = golden_registry().render();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/exposition.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).unwrap();
+    }
+    let golden = include_str!("golden/exposition.prom");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus exposition drifted from tests/golden/exposition.prom \
+         (rerun with UPDATE_GOLDEN=1 after an intentional format change)"
+    );
+}
+
+#[test]
+fn rendering_is_deterministic_across_calls() {
+    let registry = golden_registry();
+    assert_eq!(registry.render(), registry.render());
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_capped_with_inf() {
+    let text = golden_registry().render();
+    // Six observations: 0, 1, 2, 3, 700, 900 — buckets 0,1,2,2,10,10.
+    assert!(
+        text.contains("pipeline_process_ns_bucket{node=\"detect\",query=\"monitor\",le=\"0\"} 1")
+    );
+    assert!(
+        text.contains("pipeline_process_ns_bucket{node=\"detect\",query=\"monitor\",le=\"1\"} 2")
+    );
+    assert!(
+        text.contains("pipeline_process_ns_bucket{node=\"detect\",query=\"monitor\",le=\"3\"} 4")
+    );
+    assert!(text
+        .contains("pipeline_process_ns_bucket{node=\"detect\",query=\"monitor\",le=\"1023\"} 6"));
+    assert!(text
+        .contains("pipeline_process_ns_bucket{node=\"detect\",query=\"monitor\",le=\"+Inf\"} 6"));
+    assert!(text.contains("pipeline_process_ns_sum{node=\"detect\",query=\"monitor\"} 1606"));
+    assert!(text.contains("pipeline_process_ns_count{node=\"detect\",query=\"monitor\"} 6"));
+    // An empty histogram renders only the +Inf bucket.
+    assert!(text.contains("idle_wait_ns_bucket{le=\"+Inf\"} 0"));
+    assert!(!text.contains("idle_wait_ns_bucket{le=\"0\"}"));
+}

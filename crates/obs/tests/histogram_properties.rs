@@ -1,0 +1,141 @@
+//! Property tests for the log₂ histogram: bucket placement at every
+//! power-of-two boundary, monotone quantile snapshots, and lossless
+//! concurrent recording.
+
+use proptest::prelude::*;
+use strata_obs::{Histogram, BUCKETS};
+
+/// Inclusive upper bound of bucket `i`, mirrored from the crate's
+/// bucketing scheme (bucket 0 holds exactly 0; bucket `i` covers
+/// `[2^(i-1), 2^i)`).
+fn upper_bound(index: usize) -> u64 {
+    if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// The bucket a single recorded value landed in.
+fn bucket_of(value: u64) -> usize {
+    let h = Histogram::new();
+    h.record(value);
+    let snap = h.snapshot();
+    (0..BUCKETS)
+        .find(|&i| snap.buckets()[i] == 1)
+        .expect("exactly one bucket holds the observation")
+}
+
+#[test]
+fn every_power_of_two_boundary_lands_in_the_correct_bucket() {
+    assert_eq!(bucket_of(0), 0);
+    for exp in 0..64usize {
+        let boundary = 1u64 << exp;
+        // 2^exp is the first value of bucket exp+1 ...
+        assert_eq!(
+            bucket_of(boundary),
+            exp + 1,
+            "2^{exp} opens bucket {}",
+            exp + 1
+        );
+        // ... and 2^exp - 1 is the last value of bucket exp.
+        assert_eq!(
+            bucket_of(boundary - 1),
+            exp,
+            "2^{exp}-1 closes bucket {exp}"
+        );
+        if boundary > 1 {
+            assert_eq!(
+                bucket_of(boundary + 1),
+                exp + 1,
+                "2^{exp}+1 stays in bucket {}",
+                exp + 1
+            );
+        }
+    }
+    assert_eq!(bucket_of(u64::MAX), 64);
+}
+
+proptest! {
+    /// Quantile estimates never cross: p50 ≤ p95 ≤ p99 ≤ max, and
+    /// each estimate is an upper bound that at most doubles the true
+    /// quantile (the bucket's lower edge is above half its upper
+    /// bound).
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.p50();
+        let p95 = snap.p95();
+        let p99 = snap.p99();
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        prop_assert!(p99 <= snap.max(), "p99 {p99} > max {}", snap.max());
+        prop_assert_eq!(snap.max(), *values.iter().max().unwrap());
+        prop_assert_eq!(snap.count(), values.len() as u64);
+    }
+
+    /// The quantile estimate is a true upper bound on the exact
+    /// rank statistic.
+    #[test]
+    fn quantile_upper_bounds_the_exact_rank(
+        values in proptest::collection::vec(0u64..1_000_000, 1..100),
+        q_milli in 1u64..=1000,
+    ) {
+        let q = q_milli as f64 / 1000.0;
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let estimate = h.snapshot().quantile(q);
+        prop_assert!(
+            estimate >= exact,
+            "estimate {estimate} below exact {q}-quantile {exact}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_recording_from_eight_threads_loses_no_counts() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 100_000;
+    let h = Histogram::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread across buckets; every thread records a
+                    // known total sum.
+                    h.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = h.snapshot();
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snap.count(), n, "every recorded observation is counted");
+    assert_eq!(
+        snap.buckets().iter().sum::<u64>(),
+        n,
+        "bucket totals agree with the count"
+    );
+    assert_eq!(snap.sum(), n * (n - 1) / 2, "sum is exact");
+    assert_eq!(snap.max(), n - 1);
+    // The cumulative distribution is internally consistent.
+    let mut cumulative = 0u64;
+    for i in 0..BUCKETS {
+        cumulative += snap.buckets()[i];
+        assert!(snap.quantile(cumulative as f64 / n as f64) <= upper_bound(i).min(snap.max()));
+    }
+}

@@ -5,9 +5,10 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
+use strata_obs::{Histogram, Registry};
 
 use crate::consumer::Consumer;
 use crate::error::{Error, Result};
@@ -79,6 +80,15 @@ pub(crate) struct BrokerInner {
     next_member: AtomicU64,
     /// Optional durable backing for committed group offsets.
     offset_store: Option<Mutex<OffsetStore>>,
+    /// The metrics registry topics register their counters into; also
+    /// where embedders (kv, net, spe) land so one render covers the
+    /// whole process.
+    registry: Registry,
+    /// How long consumers blocked in [`wait_for_data`]
+    /// (`BrokerInner::wait_for_data`) — the fetch long-poll wait.
+    fetch_wait_ns: Histogram,
+    /// Offset-commit latency, durable persistence included.
+    commit_ns: Histogram,
 }
 
 impl BrokerInner {
@@ -114,13 +124,16 @@ impl BrokerInner {
 
     /// Blocks until new data may be available or `timeout` elapses.
     pub(crate) fn wait_for_data(&self, seen: &mut u64, timeout: Duration) {
+        let started = Instant::now();
         let mut guard = self.appends.lock();
         if *guard != *seen {
             *seen = *guard;
-            return;
+        } else {
+            self.data_ready.wait_for(&mut guard, timeout);
+            *seen = *guard;
         }
-        self.data_ready.wait_for(&mut guard, timeout);
-        *seen = *guard;
+        drop(guard);
+        self.fetch_wait_ns.record_since(started);
     }
 
     pub(crate) fn register_member(&self, group: &str, topics: &[String]) -> u64 {
@@ -199,18 +212,52 @@ impl Default for Broker {
 }
 
 impl Broker {
-    /// Creates an empty broker.
+    /// Creates an empty broker with its own private metrics registry.
     pub fn new() -> Self {
+        Broker::with_registry(Registry::new())
+    }
+
+    /// Creates an empty broker that registers its metrics (per-topic
+    /// flow counters, fetch-wait and commit latency) into `registry`.
+    /// Embedders share one registry across the broker, the kv store
+    /// and the servers on top, so one render covers everything.
+    pub fn with_registry(registry: Registry) -> Self {
         Broker {
-            inner: Arc::new(BrokerInner {
-                topics: RwLock::new(HashMap::new()),
-                groups: Mutex::new(HashMap::new()),
-                appends: Mutex::new(0),
-                data_ready: Condvar::new(),
-                next_member: AtomicU64::new(1),
-                offset_store: None,
-            }),
+            inner: Arc::new(Self::inner_with(registry, HashMap::new(), None)),
         }
+    }
+
+    fn inner_with(
+        registry: Registry,
+        groups: HashMap<String, GroupState>,
+        offset_store: Option<Mutex<OffsetStore>>,
+    ) -> BrokerInner {
+        let fetch_wait_ns = registry.histogram(
+            "pubsub_fetch_wait_ns",
+            "Time consumers spent blocked waiting for new appends",
+            &[],
+        );
+        let commit_ns = registry.histogram(
+            "pubsub_commit_ns",
+            "Offset-commit latency including durable persistence",
+            &[],
+        );
+        BrokerInner {
+            topics: RwLock::new(HashMap::new()),
+            groups: Mutex::new(groups),
+            appends: Mutex::new(0),
+            data_ready: Condvar::new(),
+            next_member: AtomicU64::new(1),
+            offset_store,
+            registry,
+            fetch_wait_ns,
+            commit_ns,
+        }
+    }
+
+    /// The registry this broker's metrics live in.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
     }
 
     /// Creates a broker whose committed group offsets are written
@@ -233,14 +280,11 @@ impl Broker {
                 .insert((topic.clone(), *partition), offset);
         }
         Ok(Broker {
-            inner: Arc::new(BrokerInner {
-                topics: RwLock::new(HashMap::new()),
-                groups: Mutex::new(groups),
-                appends: Mutex::new(0),
-                data_ready: Condvar::new(),
-                next_member: AtomicU64::new(1),
-                offset_store: Some(Mutex::new(store)),
-            }),
+            inner: Arc::new(Self::inner_with(
+                Registry::new(),
+                groups,
+                Some(Mutex::new(store)),
+            )),
         })
     }
 
@@ -262,6 +306,7 @@ impl Broker {
             config.partitions,
             &config.log,
             config.retention,
+            &self.inner.registry,
         )?;
         topics.insert(name, Arc::new(topic));
         Ok(())
@@ -367,10 +412,13 @@ impl Broker {
         partition: u32,
         offset: u64,
     ) -> Result<()> {
+        let started = Instant::now();
         self.inner.persist_offset(group, topic, partition, offset)?;
         let mut groups = self.inner.groups.lock();
         let state = groups.entry(group.to_string()).or_default();
         state.offsets.insert((topic.to_string(), partition), offset);
+        drop(groups);
+        self.inner.commit_ns.record_since(started);
         Ok(())
     }
 

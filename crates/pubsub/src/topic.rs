@@ -1,11 +1,48 @@
 //! Topics and partitions: named groups of ordered logs.
 
 use parking_lot::Mutex;
+use strata_obs::{Counter, Registry};
 
 use crate::error::{Error, Result};
 use crate::log::{FileLog, LogKind, MemoryLog, PartitionLog};
 use crate::record::{Record, StoredRecord};
 use crate::retention::RetentionPolicy;
+
+/// Per-topic flow counters, registered with a `{topic=...}` label.
+struct TopicMetrics {
+    records_in: Counter,
+    bytes_in: Counter,
+    records_out: Counter,
+    bytes_out: Counter,
+}
+
+impl TopicMetrics {
+    fn new(registry: &Registry, topic: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("topic", topic)];
+        TopicMetrics {
+            records_in: registry.counter(
+                "pubsub_topic_records_in_total",
+                "Records appended to the topic",
+                labels,
+            ),
+            bytes_in: registry.counter(
+                "pubsub_topic_bytes_in_total",
+                "Payload bytes appended to the topic",
+                labels,
+            ),
+            records_out: registry.counter(
+                "pubsub_topic_records_out_total",
+                "Records read from the topic",
+                labels,
+            ),
+            bytes_out: registry.counter(
+                "pubsub_topic_bytes_out_total",
+                "Payload bytes read from the topic",
+                labels,
+            ),
+        }
+    }
+}
 
 /// One partition: a lock-protected log.
 pub(crate) struct Partition {
@@ -25,6 +62,7 @@ pub(crate) struct Topic {
     name: String,
     partitions: Vec<Partition>,
     retention: RetentionPolicy,
+    metrics: TopicMetrics,
 }
 
 impl std::fmt::Debug for Topic {
@@ -42,6 +80,7 @@ impl Topic {
         partitions: u32,
         kind: &LogKind,
         retention: RetentionPolicy,
+        registry: &Registry,
     ) -> Result<Self> {
         if partitions == 0 {
             return Err(Error::InvalidConfig(format!(
@@ -64,10 +103,12 @@ impl Topic {
             };
             parts.push(Partition::new(log));
         }
+        let metrics = TopicMetrics::new(registry, &name);
         Ok(Topic {
             name,
             partitions: parts,
             retention,
+            metrics,
         })
     }
 
@@ -87,9 +128,12 @@ impl Topic {
     /// Appends `record` to `partition`, applying retention, and
     /// returns the assigned offset.
     pub(crate) fn append(&self, partition: u32, record: Record) -> Result<u64> {
+        let bytes = record.payload_size() as u64;
         let mut log = self.partition(partition)?.log.lock();
         let offset = log.append(record)?;
         self.retention.apply(log.as_mut())?;
+        self.metrics.records_in.inc();
+        self.metrics.bytes_in.add(bytes);
         Ok(offset)
     }
 
@@ -101,10 +145,16 @@ impl Topic {
         offset: u64,
         max_records: usize,
     ) -> Result<Vec<StoredRecord>> {
-        self.partition(partition)?
+        let batch = self
+            .partition(partition)?
             .log
             .lock()
-            .read_from(offset, max_records)
+            .read_from(offset, max_records)?;
+        self.metrics.records_out.add(batch.len() as u64);
+        self.metrics
+            .bytes_out
+            .add(batch.iter().map(|r| r.record.payload_size() as u64).sum());
+        Ok(batch)
     }
 
     /// `(start, end)` offsets of `partition`.
@@ -124,6 +174,7 @@ mod tests {
             partitions,
             &LogKind::Memory,
             RetentionPolicy::unbounded(),
+            &Registry::new(),
         )
         .unwrap()
     }
@@ -135,7 +186,8 @@ mod tests {
                 "t".into(),
                 0,
                 &LogKind::Memory,
-                RetentionPolicy::unbounded()
+                RetentionPolicy::unbounded(),
+                &Registry::new(),
             ),
             Err(Error::InvalidConfig(_))
         ));
@@ -162,12 +214,45 @@ mod tests {
     }
 
     #[test]
+    fn flow_counters_track_appends_and_reads() {
+        let registry = Registry::new();
+        let t = Topic::create(
+            "t".into(),
+            1,
+            &LogKind::Memory,
+            RetentionPolicy::unbounded(),
+            &registry,
+        )
+        .unwrap();
+        t.append(0, Record::new(None::<Vec<u8>>, "abc")).unwrap();
+        let _ = t.read(0, 0, 10).unwrap();
+        let text = registry.render();
+        assert!(
+            text.contains("pubsub_topic_records_in_total{topic=\"t\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pubsub_topic_bytes_in_total{topic=\"t\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pubsub_topic_records_out_total{topic=\"t\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pubsub_topic_bytes_out_total{topic=\"t\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn retention_applies_on_append() {
         let t = Topic::create(
             "t".into(),
             1,
             &LogKind::Memory,
             RetentionPolicy::default().with_max_records(2),
+            &Registry::new(),
         )
         .unwrap();
         for n in 0..5u8 {

@@ -64,7 +64,7 @@ mod runtime;
 pub use builder::{QueryBuilder, Stream};
 pub use element::Element;
 pub use error::{Error, Result};
-pub use metrics::{NodeMetrics, QueryMetrics};
+pub use metrics::{NodeMetrics, NodeMetricsSnapshot, QueryMetrics, QueryMetricsSnapshot};
 pub use query::{Query, RunningQuery};
 pub use sink::CollectHandle;
 pub use source::{IteratorSource, Source, SourceContext, TimedBatchSource};

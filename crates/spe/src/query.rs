@@ -100,11 +100,12 @@ impl Query {
                 (node_name, handle)
             })
             .collect();
+        let metrics = QueryMetrics::new(name.clone(), metrics);
         RunningQuery {
             name,
             handles,
             stop,
-            metrics: QueryMetrics::new(metrics),
+            metrics,
             errors,
         }
     }
@@ -284,5 +285,15 @@ mod tests {
         }
         assert_eq!(metrics.node("bad").unwrap().panics(), 1);
         assert_eq!(metrics.total_panics(), 1);
+        // The user-visible summary surfaces the caught panic.
+        let summary = metrics.snapshot().to_string();
+        assert!(summary.contains("query `panics`"), "{summary}");
+        assert!(summary.contains("panics 1"), "{summary}");
+        assert!(
+            summary
+                .lines()
+                .any(|l| l.contains("bad:") && l.contains("panics=1")),
+            "the panicking node is flagged in its row: {summary}"
+        );
     }
 }

@@ -3,6 +3,7 @@
 
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{Receiver, Select, Sender};
 use parking_lot::Mutex;
@@ -114,6 +115,13 @@ fn recv_any<T>(rxs: &[Option<Receiver<Element<T>>>]) -> (usize, Option<Element<T
     }
 }
 
+/// Total buffered items across a node's still-open inputs. Sampled
+/// into the queue-depth histogram at each item receipt, so sustained
+/// backpressure shows up as a rising distribution.
+fn queue_depth<T>(rxs: &[Option<Receiver<Element<T>>>]) -> u64 {
+    rxs.iter().flatten().map(|rx| rx.len() as u64).sum()
+}
+
 /// Drains `out` into the node's ports, recording output metrics.
 /// Returns `false` when every downstream consumer is gone.
 fn flush_outputs<O: Clone>(out: &mut Vec<O>, ports: &Ports<O>, metrics: &NodeMetrics) -> bool {
@@ -146,7 +154,13 @@ pub(crate) fn run_unary<I, O, Op>(
         match received {
             Some(Element::Item(item)) => {
                 metrics.record_in(1);
+                metrics.record_queue_depth(queue_depth(&rxs));
+                // Time the operator callback only: send-side
+                // backpressure in flush_outputs is queueing, not
+                // processing, and would drown the signal.
+                let started = Instant::now();
                 op.on_item(item, &mut out);
+                metrics.record_process_since(started);
                 if !flush_outputs(&mut out, &ports, &metrics) && has_outputs {
                     return;
                 }
@@ -248,14 +262,20 @@ pub(crate) fn run_binary<L, R, O, Op>(
         match event {
             Some(ElementEvent::Left(item)) => {
                 metrics.record_in(1);
+                metrics.record_queue_depth(queue_depth(&left) + queue_depth(&right));
+                let started = Instant::now();
                 op.on_left(item, &mut out);
+                metrics.record_process_since(started);
                 if !flush_outputs(&mut out, &ports, &metrics) && has_outputs {
                     return;
                 }
             }
             Some(ElementEvent::Right(item)) => {
                 metrics.record_in(1);
+                metrics.record_queue_depth(queue_depth(&left) + queue_depth(&right));
+                let started = Instant::now();
                 op.on_right(item, &mut out);
+                metrics.record_process_since(started);
                 if !flush_outputs(&mut out, &ports, &metrics) && has_outputs {
                     return;
                 }
@@ -329,7 +349,10 @@ pub(crate) fn run_router<T>(
         match received {
             Some(Element::Item(item)) => {
                 metrics.record_in(1);
+                metrics.record_queue_depth(queue_depth(&rxs));
+                let started = Instant::now();
                 let port = router.route(&item);
+                metrics.record_process_since(started);
                 metrics.record_out(1);
                 let mut alive = false;
                 for tx in &ports[port] {
@@ -408,7 +431,10 @@ pub(crate) fn run_element_sink<T, F>(
         match received {
             Some(Element::Item(item)) => {
                 metrics.record_in(1);
+                metrics.record_queue_depth(queue_depth(&rxs));
+                let started = Instant::now();
                 f(Element::Item(item));
+                metrics.record_process_since(started);
             }
             Some(Element::Watermark(wm)) => {
                 metrics.record_watermark();
@@ -446,7 +472,10 @@ where
         match received {
             Some(Element::Item(item)) => {
                 metrics.record_in(1);
+                metrics.record_queue_depth(queue_depth(&rxs));
+                let started = Instant::now();
                 f(item);
+                metrics.record_process_since(started);
             }
             Some(Element::Watermark(_)) => metrics.record_watermark(),
             Some(Element::End) | None => {
