@@ -13,8 +13,19 @@ use strata_bench::{bench_machine, BenchScale};
 const LAYERS: u32 = 6;
 
 fn run_layers(mode: ConnectorMode, cell_px: u32) -> usize {
+    // The config default (batched, 64) — what a deployment gets out
+    // of the box.
+    run_layers_batched(mode, cell_px, 64)
+}
+
+fn run_layers_batched(mode: ConnectorMode, cell_px: u32, batch_size: usize) -> usize {
     let machine = bench_machine(7, BenchScale::Reduced);
-    let strata = Strata::new(StrataConfig::default().connector_mode(mode.clone())).unwrap();
+    let strata = Strata::new(
+        StrataConfig::default()
+            .connector_mode(mode.clone())
+            .batch_size(batch_size),
+    )
+    .unwrap();
     let (running, reports) = thermal::deploy_pipeline(
         &strata,
         machine,
@@ -82,5 +93,27 @@ fn bench_connector_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_connector_overhead);
+/// The data-plane batching ablation at pipeline granularity: the
+/// whole Algorithm-1 pipeline item-at-a-time vs micro-batched. The
+/// end-to-end win is smaller than the raw engine's (the pipeline is
+/// dominated by image processing, not channel hops) but comes for
+/// free — results are identical at every batch size.
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_batching");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(LAYERS as u64));
+    for batch in [1usize, 64] {
+        group.bench_with_input(BenchmarkId::new("batch_size", batch), &batch, |b, &bs| {
+            b.iter(|| run_layers_batched(ConnectorMode::PubSub, 10, bs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_connector_overhead,
+    bench_batching
+);
 criterion_main!(benches);

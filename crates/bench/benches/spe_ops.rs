@@ -7,9 +7,10 @@ use strata_spe::prelude::*;
 
 const N: u64 = 100_000;
 
-fn run_linear_query(stages: usize, fused: bool) -> usize {
+fn run_linear_query(stages: usize, fused: bool, batch: usize) -> usize {
     let mut qb = QueryBuilder::new("bench");
     qb.channel_capacity(1024);
+    qb.batch_size(batch);
     let src = qb.source("src", IteratorSource::new(0..N));
     let out = if fused {
         // One operator applying all stages in a single closure.
@@ -43,10 +44,18 @@ fn bench_chaining(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("thread_per_operator", stages),
             &stages,
-            |b, &s| b.iter(|| assert_eq!(run_linear_query(s, false), N as usize)),
+            |b, &s| b.iter(|| assert_eq!(run_linear_query(s, false, 1), N as usize)),
+        );
+        // The same thread-per-operator chain with micro-batched
+        // channels: how much of the fusion win batching recovers
+        // without giving up the operator boundaries.
+        group.bench_with_input(
+            BenchmarkId::new("thread_per_operator_batch64", stages),
+            &stages,
+            |b, &s| b.iter(|| assert_eq!(run_linear_query(s, false, 64), N as usize)),
         );
         group.bench_with_input(BenchmarkId::new("fused", stages), &stages, |b, &s| {
-            b.iter(|| assert_eq!(run_linear_query(s, true), N as usize))
+            b.iter(|| assert_eq!(run_linear_query(s, true, 1), N as usize))
         });
     }
     group.finish();

@@ -47,6 +47,8 @@ pub struct StrataConfig {
     event_retention: RetentionPolicy,
     kv_dir: Option<PathBuf>,
     poll_timeout: Duration,
+    batch_size: usize,
+    batch_timeout: Duration,
 }
 
 impl Default for StrataConfig {
@@ -62,6 +64,12 @@ impl Default for StrataConfig {
             event_retention: RetentionPolicy::default().with_max_records(1_000_000),
             kv_dir: None,
             poll_timeout: Duration::from_millis(20),
+            // One OT image row region per channel wakeup amortizes
+            // channel synchronization ~10× (see BENCH_spe_batch.json)
+            // while the flush deadline keeps per-layer latency far
+            // below the 3 s QoS gap.
+            batch_size: 64,
+            batch_timeout: Duration::from_millis(5),
         }
     }
 }
@@ -112,6 +120,23 @@ impl StrataConfig {
         self
     }
 
+    /// Sets the SPE micro-batch size used by all pipeline queries
+    /// (default 64; clamped to ≥ 1). `1` restores item-at-a-time
+    /// processing — lowest latency, lowest throughput. Results are
+    /// identical at every batch size; only performance changes.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Bounds how long a partially filled source batch may wait
+    /// before being flushed downstream (default 5 ms). Only
+    /// meaningful with [`batch_size`](Self::batch_size) > 1.
+    pub fn batch_timeout(mut self, timeout: Duration) -> Self {
+        self.batch_timeout = timeout;
+        self
+    }
+
     /// The configured QoS threshold.
     pub fn qos_threshold(&self) -> Duration {
         self.qos
@@ -141,6 +166,14 @@ impl StrataConfig {
     pub(crate) fn poll_timeout_value(&self) -> Duration {
         self.poll_timeout
     }
+
+    pub(crate) fn batch_size_value(&self) -> usize {
+        self.batch_size
+    }
+
+    pub(crate) fn batch_timeout_value(&self) -> Duration {
+        self.batch_timeout
+    }
 }
 
 #[cfg(test)]
@@ -159,10 +192,21 @@ mod tests {
         let c = StrataConfig::default()
             .qos(Duration::from_millis(500))
             .connector_mode(ConnectorMode::Direct)
-            .channel_capacity(0);
+            .channel_capacity(0)
+            .batch_size(0)
+            .batch_timeout(Duration::from_millis(2));
         assert_eq!(c.qos_threshold(), Duration::from_millis(500));
         assert_eq!(c.connector_mode_value(), ConnectorMode::Direct);
         assert_eq!(c.channel_capacity_value(), 1, "clamped");
+        assert_eq!(c.batch_size_value(), 1, "clamped");
+        assert_eq!(c.batch_timeout_value(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn batching_defaults_are_on() {
+        let c = StrataConfig::default();
+        assert_eq!(c.batch_size_value(), 64);
+        assert_eq!(c.batch_timeout_value(), Duration::from_millis(5));
     }
 
     #[test]

@@ -17,15 +17,27 @@ use strata_spe::{Element, Source, SourceContext};
 use crate::codec::{self, ConnectorMessage};
 use crate::tuple::AmTuple;
 
-/// Encodes a stream element as a connector-topic record. Keyed by
+/// Flattens a stream element into connector wire messages. The wire
+/// format stays item-level at every engine batch size: a micro-batch
+/// becomes that many consecutive `Tuple` messages, so the bytes in
+/// the topic are identical whether the SPE ran batched or not.
+fn connector_messages(element: Element<AmTuple>) -> Vec<ConnectorMessage> {
+    match element {
+        Element::Item(tuple) => vec![ConnectorMessage::Tuple(tuple)],
+        Element::Batch(batch) => batch
+            .into_vec()
+            .into_iter()
+            .map(ConnectorMessage::Tuple)
+            .collect(),
+        Element::Watermark(ts) => vec![ConnectorMessage::Watermark(ts)],
+        Element::End => vec![ConnectorMessage::End],
+    }
+}
+
+/// Encodes a connector message as a topic record. Keyed by
 /// `job:layer` so a future multi-partition layout would keep
 /// per-layer order.
-fn connector_record(element: Element<AmTuple>) -> Record {
-    let message = match element {
-        Element::Item(tuple) => ConnectorMessage::Tuple(tuple),
-        Element::Watermark(ts) => ConnectorMessage::Watermark(ts),
-        Element::End => ConnectorMessage::End,
-    };
+fn connector_record(message: ConnectorMessage) -> Record {
     let key = match &message {
         ConnectorMessage::Tuple(t) => {
             format!("{}:{}", t.metadata().job, t.metadata().layer)
@@ -49,7 +61,9 @@ pub fn publisher(
     move |element| {
         // A send can only fail if the topic was deleted mid-run;
         // dropping the element then matches "subscriber gone".
-        let _ = producer.send_record(&topic, connector_record(element));
+        for message in connector_messages(element) {
+            let _ = producer.send_record(&topic, connector_record(message));
+        }
     }
 }
 
@@ -62,7 +76,9 @@ pub fn remote_publisher(
     topic: String,
 ) -> impl FnMut(Element<AmTuple>) + Send + 'static {
     move |element| {
-        let _ = producer.send_record(&topic, connector_record(element));
+        for message in connector_messages(element) {
+            let _ = producer.send_record(&topic, connector_record(message));
+        }
     }
 }
 

@@ -225,9 +225,11 @@ impl PipelineBuilder {
         let mut collector = QueryBuilder::new(format!("{name}.collector"));
         let mut monitor = QueryBuilder::new(format!("{name}.monitor"));
         let mut aggregator = QueryBuilder::new(format!("{name}.aggregator"));
-        collector.channel_capacity(config.channel_capacity_value());
-        monitor.channel_capacity(config.channel_capacity_value());
-        aggregator.channel_capacity(config.channel_capacity_value());
+        for qb in [&mut collector, &mut monitor, &mut aggregator] {
+            qb.channel_capacity(config.channel_capacity_value());
+            qb.batch_size(config.batch_size_value());
+            qb.batch_timeout(config.batch_timeout_value());
+        }
         // With a remote broker the topic namespace is shared by every
         // process pointed at the same server, so the per-instance
         // prefix also carries the process id.

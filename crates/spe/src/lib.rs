@@ -62,7 +62,7 @@ pub mod window;
 mod runtime;
 
 pub use builder::{QueryBuilder, Stream};
-pub use element::Element;
+pub use element::{Batch, Element};
 pub use error::{Error, Result};
 pub use metrics::{NodeMetrics, NodeMetricsSnapshot, QueryMetrics, QueryMetricsSnapshot};
 pub use query::{Query, RunningQuery};
@@ -74,7 +74,7 @@ pub use window::WindowSpec;
 /// Convenience re-exports for building queries.
 pub mod prelude {
     pub use crate::builder::{QueryBuilder, Stream};
-    pub use crate::element::Element;
+    pub use crate::element::{Batch, Element};
     pub use crate::error::{Error, Result};
     pub use crate::operators::aggregate::WindowBounds;
     pub use crate::operators::RoutePolicy;

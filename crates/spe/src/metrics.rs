@@ -31,6 +31,7 @@ pub struct NodeMetrics {
     panics: Counter,
     process_ns: Histogram,
     queue_depth: Histogram,
+    batch_items: Histogram,
 }
 
 impl NodeMetrics {
@@ -44,6 +45,7 @@ impl NodeMetrics {
             panics: Counter::new(),
             process_ns: Histogram::new(),
             queue_depth: Histogram::new(),
+            batch_items: Histogram::new(),
         }
     }
 
@@ -87,6 +89,14 @@ impl NodeMetrics {
         self.queue_depth.snapshot()
     }
 
+    /// Distribution of micro-batch sizes the node processed (items per
+    /// wakeup). Only recorded when the query runs with a batch size
+    /// above 1, so item-at-a-time queries report an empty
+    /// distribution.
+    pub fn batch_items(&self) -> HistogramSnapshot {
+        self.batch_items.snapshot()
+    }
+
     pub(crate) fn record_in(&self, n: u64) {
         self.items_in.add(n);
     }
@@ -109,6 +119,10 @@ impl NodeMetrics {
 
     pub(crate) fn record_queue_depth(&self, depth: u64) {
         self.queue_depth.record(depth);
+    }
+
+    pub(crate) fn record_batch(&self, items: u64) {
+        self.batch_items.record(items);
     }
 
     /// Registers this node's handles into `registry` under the
@@ -151,6 +165,12 @@ impl NodeMetrics {
             labels,
             &self.queue_depth,
         );
+        registry.register_histogram(
+            "spe_node_batch_items",
+            "Micro-batch sizes processed per wakeup (batched queries only)",
+            labels,
+            &self.batch_items,
+        );
     }
 
     /// A point-in-time copy of every counter and distribution.
@@ -163,6 +183,7 @@ impl NodeMetrics {
             panics: self.panics(),
             process_ns: self.process_latency(),
             queue_depth: self.queue_depth(),
+            batch_items: self.batch_items(),
         }
     }
 }
@@ -269,6 +290,9 @@ pub struct NodeMetricsSnapshot {
     pub process_ns: HistogramSnapshot,
     /// Input queue depth distribution, sampled at item receipt.
     pub queue_depth: HistogramSnapshot,
+    /// Micro-batch size distribution (items per wakeup); empty unless
+    /// the query ran with a batch size above 1.
+    pub batch_items: HistogramSnapshot,
 }
 
 /// Point-in-time metrics of a whole query, one row per node.
@@ -321,6 +345,14 @@ impl std::fmt::Display for QueryMetricsSnapshot {
             }
             if n.queue_depth.count() > 0 {
                 write!(f, " queue[p99={}]", n.queue_depth.p99())?;
+            }
+            if n.batch_items.count() > 0 {
+                write!(
+                    f,
+                    " batch[p50={} max={}]",
+                    n.batch_items.p50(),
+                    n.batch_items.max()
+                )?;
             }
             writeln!(f)?;
         }

@@ -23,6 +23,17 @@ pub trait UnaryOperator<I, O>: Send {
     /// Processes one input tuple, appending any number of outputs.
     fn on_item(&mut self, item: I, out: &mut Vec<O>);
 
+    /// Processes a micro-batch of input tuples in channel order. The
+    /// default simply loops over [`on_item`](UnaryOperator::on_item);
+    /// stateless operators override it to amortize per-item dispatch.
+    /// Implementations must be observationally equivalent to the
+    /// item-at-a-time loop.
+    fn on_batch(&mut self, items: Vec<I>, out: &mut Vec<O>) {
+        for item in items {
+            self.on_item(item, out);
+        }
+    }
+
     /// Reacts to event-time progress. The default forwards nothing
     /// (the worker itself propagates the watermark downstream).
     fn on_watermark(&mut self, watermark: Timestamp, out: &mut Vec<O>) {
@@ -46,6 +57,22 @@ pub trait BinaryOperator<L, R, O>: Send {
 
     /// Processes one tuple from the right input.
     fn on_right(&mut self, item: R, out: &mut Vec<O>);
+
+    /// Processes a micro-batch of left tuples in channel order. The
+    /// default loops over [`on_left`](BinaryOperator::on_left).
+    fn on_left_batch(&mut self, items: Vec<L>, out: &mut Vec<O>) {
+        for item in items {
+            self.on_left(item, out);
+        }
+    }
+
+    /// Processes a micro-batch of right tuples in channel order. The
+    /// default loops over [`on_right`](BinaryOperator::on_right).
+    fn on_right_batch(&mut self, items: Vec<R>, out: &mut Vec<O>) {
+        for item in items {
+            self.on_right(item, out);
+        }
+    }
 
     /// Reacts to combined event-time progress across both inputs.
     fn on_watermark(&mut self, watermark: Timestamp, out: &mut Vec<O>) {

@@ -29,6 +29,14 @@ where
     fn on_item(&mut self, item: I, out: &mut Vec<O>) {
         out.extend((self.f)(item));
     }
+
+    /// Batch fast path: a single loop of extends, no per-item
+    /// dispatch.
+    fn on_batch(&mut self, items: Vec<I>, out: &mut Vec<O>) {
+        for item in items {
+            out.extend((self.f)(item));
+        }
+    }
 }
 
 #[cfg(test)]

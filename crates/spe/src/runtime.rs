@@ -1,14 +1,31 @@
 //! Worker loops: one thread per node, watermark merging across
 //! inputs, broadcast fan-out, cooperative termination.
+//!
+//! # Micro-batched data plane
+//!
+//! Channels carry [`Element::Batch`] alongside single items: each
+//! worker wakeup drains up to `max_batch` buffered data elements from
+//! the channel that woke it, invokes the operator once over the whole
+//! batch, and forwards the outputs as shared batches. Watermarks and
+//! end-of-stream are always batch boundaries — a control marker found
+//! mid-drain is set aside (`pending`) and processed on the next loop
+//! iteration, after the data before it. With `max_batch == 1` the
+//! loops take the exact item-at-a-time paths of the pre-batching
+//! engine, which the `batch_equivalence` suite pins bit for bit.
+//!
+//! Broadcast fan-out never clones for the sole (or last) consumer:
+//! the original element is moved into the final send, and batches are
+//! reference-counted so the extra N−1 sends bump an `Arc` instead of
+//! copying items.
 
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Select, Sender};
 use parking_lot::Mutex;
 
-use crate::element::Element;
+use crate::element::{Batch, Element};
 use crate::error::Error;
 use crate::metrics::NodeMetrics;
 use crate::operator::{BinaryOperator, UnaryOperator};
@@ -22,15 +39,30 @@ use crate::time::Timestamp;
 /// exactly one port.
 pub(crate) type Ports<T> = Vec<Vec<Sender<Element<T>>>>;
 
-/// Sends a clone of `element` to every channel of every port.
+/// Sends `element` to every channel of every port: a clone to the
+/// first N−1 channels, the original — by move — into the last. The
+/// sole consumer of a stream therefore never pays for a clone.
 /// Returns `true` while at least one receiver is still connected.
-fn broadcast_all<T: Clone>(ports: &Ports<T>, element: &Element<T>) -> bool {
+fn broadcast_all<T: Clone>(ports: &Ports<T>, element: Element<T>) -> bool {
+    let total: usize = ports.iter().map(|p| p.len()).sum();
+    if total == 0 {
+        return false;
+    }
     let mut alive = false;
-    for port in ports {
-        for tx in port {
-            if tx.send(element.clone()).is_ok() {
-                alive = true;
-            }
+    let mut element = Some(element);
+    let mut sent = 0usize;
+    for tx in ports.iter().flatten() {
+        sent += 1;
+        let payload = if sent == total {
+            element.take().expect("original moved into the last send")
+        } else {
+            element
+                .as_ref()
+                .expect("original kept until last send")
+                .clone()
+        };
+        if tx.send(payload).is_ok() {
+            alive = true;
         }
     }
     alive
@@ -116,43 +148,125 @@ fn recv_any<T>(rxs: &[Option<Receiver<Element<T>>>]) -> (usize, Option<Element<T
 }
 
 /// Total buffered items across a node's still-open inputs. Sampled
-/// into the queue-depth histogram at each item receipt, so sustained
+/// into the queue-depth histogram at each wakeup, so sustained
 /// backpressure shows up as a rising distribution.
 fn queue_depth<T>(rxs: &[Option<Receiver<Element<T>>>]) -> u64 {
     rxs.iter().flatten().map(|rx| rx.len() as u64).sum()
 }
 
+/// Appends the items of a data element to `buf`; a batch whose items
+/// land in an empty buffer is taken over wholesale (no copy for the
+/// sole consumer).
+fn push_data<T: Clone>(element: Element<T>, buf: &mut Vec<T>) {
+    match element {
+        Element::Item(item) => buf.push(item),
+        Element::Batch(batch) => {
+            if buf.is_empty() {
+                *buf = batch.into_vec();
+            } else {
+                buf.extend(batch.into_vec());
+            }
+        }
+        _ => unreachable!("push_data only receives data elements"),
+    }
+}
+
+/// Starting from the already-received data element `first`, drains
+/// `rx` without blocking until `max_batch` items are buffered, the
+/// channel runs dry, or a control marker appears. The control marker,
+/// if any, is returned so the caller can process it *after* the data
+/// that preceded it — keeping watermarks and end-of-stream exact
+/// batch boundaries.
+fn drain_data<T: Clone>(
+    first: Element<T>,
+    rx: &Receiver<Element<T>>,
+    max_batch: usize,
+) -> (Vec<T>, Option<Element<T>>) {
+    let mut buf = Vec::new();
+    push_data(first, &mut buf);
+    let mut ctrl = None;
+    while buf.len() < max_batch {
+        match rx.try_recv() {
+            Ok(el @ (Element::Item(_) | Element::Batch(_))) => push_data(el, &mut buf),
+            Ok(marker) => {
+                ctrl = Some(marker);
+                break;
+            }
+            // Empty: nothing more to coalesce. Disconnected: the next
+            // blocking receive reports it as a closed slot.
+            Err(_) => break,
+        }
+    }
+    (buf, ctrl)
+}
+
 /// Drains `out` into the node's ports, recording output metrics.
+/// With `max_batch > 1` the outputs travel as shared batches chunked
+/// to at most `max_batch` items; otherwise one `Element::Item` per
+/// tuple, exactly as the pre-batching engine.
 /// Returns `false` when every downstream consumer is gone.
-fn flush_outputs<O: Clone>(out: &mut Vec<O>, ports: &Ports<O>, metrics: &NodeMetrics) -> bool {
+fn flush_outputs<O: Clone>(
+    out: &mut Vec<O>,
+    ports: &Ports<O>,
+    metrics: &NodeMetrics,
+    max_batch: usize,
+) -> bool {
+    if out.is_empty() {
+        return true;
+    }
     let mut alive = true;
-    for item in out.drain(..) {
-        metrics.record_out(1);
-        alive = broadcast_all(ports, &Element::Item(item));
+    if max_batch <= 1 {
+        for item in out.drain(..) {
+            metrics.record_out(1);
+            alive = broadcast_all(ports, Element::Item(item));
+        }
+        return alive;
+    }
+    metrics.record_out(out.len() as u64);
+    let mut items = std::mem::take(out);
+    while !items.is_empty() {
+        let rest = if items.len() > max_batch {
+            items.split_off(max_batch)
+        } else {
+            Vec::new()
+        };
+        alive = if items.len() == 1 {
+            broadcast_all(ports, Element::Item(items.pop().expect("one item")))
+        } else {
+            broadcast_all(ports, Element::Batch(Batch::new(items)))
+        };
+        items = rest;
     }
     alive
 }
 
 /// The worker loop shared by every single-input-type node (Map,
-/// Filter, FlatMap, Aggregate, Union/Identity, sinks are separate).
+/// Filter, FlatMap, Aggregate, Union/Identity; sinks are separate).
 pub(crate) fn run_unary<I, O, Op>(
     mut op: Op,
     rxs: Vec<Receiver<Element<I>>>,
     ports: Ports<O>,
     metrics: Arc<NodeMetrics>,
+    max_batch: usize,
 ) where
-    I: Clone + Send,
-    O: Clone + Send,
+    I: Clone + Send + Sync,
+    O: Clone + Send + Sync,
     Op: UnaryOperator<I, O>,
 {
     let has_outputs = ports.iter().any(|p| !p.is_empty());
     let mut rxs: Vec<Option<_>> = rxs.into_iter().map(Some).collect();
     let mut merge = WatermarkMerge::new(rxs.len());
     let mut out: Vec<O> = Vec::new();
+    let mut pending: Option<(usize, Element<I>)> = None;
     loop {
-        let (slot, received) = recv_any(&rxs);
+        let (slot, received) = match pending.take() {
+            Some((slot, marker)) => (slot, Some(marker)),
+            None => recv_any(&rxs),
+        };
         match received {
-            Some(Element::Item(item)) => {
+            Some(Element::Item(item)) if max_batch <= 1 => {
+                // The exact pre-batching hot path: no buffering, no
+                // allocation per item.
                 metrics.record_in(1);
                 metrics.record_queue_depth(queue_depth(&rxs));
                 // Time the operator callback only: send-side
@@ -161,7 +275,29 @@ pub(crate) fn run_unary<I, O, Op>(
                 let started = Instant::now();
                 op.on_item(item, &mut out);
                 metrics.record_process_since(started);
-                if !flush_outputs(&mut out, &ports, &metrics) && has_outputs {
+                if !flush_outputs(&mut out, &ports, &metrics, max_batch) && has_outputs {
+                    return;
+                }
+            }
+            Some(el @ (Element::Item(_) | Element::Batch(_))) => {
+                let rx = rxs[slot].as_ref().expect("data from an open slot");
+                let (mut batch, ctrl) = drain_data(el, rx, max_batch);
+                if let Some(marker) = ctrl {
+                    pending = Some((slot, marker));
+                }
+                metrics.record_in(batch.len() as u64);
+                metrics.record_queue_depth(queue_depth(&rxs));
+                if max_batch > 1 {
+                    metrics.record_batch(batch.len() as u64);
+                }
+                let started = Instant::now();
+                if batch.len() == 1 {
+                    op.on_item(batch.pop().expect("single item"), &mut out);
+                } else {
+                    op.on_batch(batch, &mut out);
+                }
+                metrics.record_process_since(started);
+                if !flush_outputs(&mut out, &ports, &metrics, max_batch) && has_outputs {
                     return;
                 }
             }
@@ -169,8 +305,8 @@ pub(crate) fn run_unary<I, O, Op>(
                 metrics.record_watermark();
                 if let Some(combined) = merge.advance(slot, wm) {
                     op.on_watermark(combined, &mut out);
-                    let alive = flush_outputs(&mut out, &ports, &metrics)
-                        && broadcast_all(&ports, &Element::Watermark(combined));
+                    let alive = flush_outputs(&mut out, &ports, &metrics, max_batch)
+                        && broadcast_all(&ports, Element::Watermark(combined));
                     if !alive && has_outputs {
                         return;
                     }
@@ -181,8 +317,8 @@ pub(crate) fn run_unary<I, O, Op>(
                 if let Some(combined) = merge.close(slot) {
                     if !merge.all_closed() {
                         op.on_watermark(combined, &mut out);
-                        let alive = flush_outputs(&mut out, &ports, &metrics)
-                            && broadcast_all(&ports, &Element::Watermark(combined));
+                        let alive = flush_outputs(&mut out, &ports, &metrics, max_batch)
+                            && broadcast_all(&ports, Element::Watermark(combined));
                         if !alive && has_outputs {
                             return;
                         }
@@ -190,12 +326,104 @@ pub(crate) fn run_unary<I, O, Op>(
                 }
                 if merge.all_closed() {
                     op.on_end(&mut out);
-                    flush_outputs(&mut out, &ports, &metrics);
-                    broadcast_all(&ports, &Element::End);
+                    flush_outputs(&mut out, &ports, &metrics, max_batch);
+                    broadcast_all(&ports, Element::End);
                     return;
                 }
             }
         }
+    }
+}
+
+/// A control marker carried over to the next loop iteration of a
+/// binary worker; side-agnostic because markers hold no payload.
+enum PendingCtrl {
+    Watermark(Timestamp),
+    End,
+}
+
+enum ElementEvent<L, R> {
+    LeftBatch(Vec<L>),
+    RightBatch(Vec<R>),
+    Watermark(Timestamp),
+    Closed,
+}
+
+/// A still-open input of a binary node, tagged by side so the select
+/// loop can complete the chosen operation against the right type.
+enum SideRx<'a, L, R> {
+    Left(&'a Receiver<Element<L>>),
+    Right(&'a Receiver<Element<R>>),
+}
+
+/// Receives one event for a binary worker, draining data into a batch
+/// of the selected side. A control marker hit mid-drain lands in
+/// `pending`.
+#[allow(clippy::type_complexity)]
+fn recv_binary<L: Clone + Send + Sync, R: Clone + Send + Sync>(
+    left: &[Option<Receiver<Element<L>>>],
+    right: &[Option<Receiver<Element<R>>>],
+    max_batch: usize,
+    pending: &mut Option<(usize, PendingCtrl)>,
+) -> (usize, ElementEvent<L, R>) {
+    if let Some((slot, ctrl)) = pending.take() {
+        let event = match ctrl {
+            PendingCtrl::Watermark(wm) => ElementEvent::Watermark(wm),
+            PendingCtrl::End => ElementEvent::Closed,
+        };
+        return (slot, event);
+    }
+    let left_count = left.len();
+    // A heterogeneous select: left and right channels carry different
+    // element types, so build the Select manually. The slot list keeps
+    // a typed reference alongside each index, so the selected receiver
+    // is recovered without unwrapping.
+    let mut sel = Select::new();
+    let mut slots: Vec<(usize, SideRx<'_, L, R>)> = Vec::new();
+    for (i, rx) in left.iter().enumerate() {
+        if let Some(rx) = rx {
+            sel.recv(rx);
+            slots.push((i, SideRx::Left(rx)));
+        }
+    }
+    for (i, rx) in right.iter().enumerate() {
+        if let Some(rx) = rx {
+            sel.recv(rx);
+            slots.push((left_count + i, SideRx::Right(rx)));
+        }
+    }
+    debug_assert!(!slots.is_empty());
+    let oper = sel.select();
+    let (slot, side) = &slots[oper.index()];
+    let slot = *slot;
+    let event = match side {
+        SideRx::Left(rx) => match oper.recv(rx) {
+            Ok(el @ (Element::Item(_) | Element::Batch(_))) => {
+                let (batch, ctrl) = drain_data(el, rx, max_batch);
+                *pending = ctrl.map(|marker| (slot, to_pending(marker)));
+                ElementEvent::LeftBatch(batch)
+            }
+            Ok(Element::Watermark(wm)) => ElementEvent::Watermark(wm),
+            Ok(Element::End) | Err(_) => ElementEvent::Closed,
+        },
+        SideRx::Right(rx) => match oper.recv(rx) {
+            Ok(el @ (Element::Item(_) | Element::Batch(_))) => {
+                let (batch, ctrl) = drain_data(el, rx, max_batch);
+                *pending = ctrl.map(|marker| (slot, to_pending(marker)));
+                ElementEvent::RightBatch(batch)
+            }
+            Ok(Element::Watermark(wm)) => ElementEvent::Watermark(wm),
+            Ok(Element::End) | Err(_) => ElementEvent::Closed,
+        },
+    };
+    (slot, event)
+}
+
+fn to_pending<T>(marker: Element<T>) -> PendingCtrl {
+    match marker {
+        Element::Watermark(wm) => PendingCtrl::Watermark(wm),
+        Element::End => PendingCtrl::End,
+        _ => unreachable!("data elements are drained, not carried over"),
     }
 }
 
@@ -208,10 +436,11 @@ pub(crate) fn run_binary<L, R, O, Op>(
     right_rxs: Vec<Receiver<Element<R>>>,
     ports: Ports<O>,
     metrics: Arc<NodeMetrics>,
+    max_batch: usize,
 ) where
-    L: Clone + Send,
-    R: Clone + Send,
-    O: Clone + Send,
+    L: Clone + Send + Sync,
+    R: Clone + Send + Sync,
+    O: Clone + Send + Sync,
     Op: BinaryOperator<L, R, O>,
 {
     let has_outputs = ports.iter().any(|p| !p.is_empty());
@@ -220,79 +449,58 @@ pub(crate) fn run_binary<L, R, O, Op>(
     let mut right: Vec<Option<_>> = right_rxs.into_iter().map(Some).collect();
     let mut merge = WatermarkMerge::new(left.len() + right.len());
     let mut out: Vec<O> = Vec::new();
+    let mut pending: Option<(usize, PendingCtrl)> = None;
 
     loop {
-        // A heterogeneous select: left and right channels carry
-        // different element types, so build the Select manually. The
-        // slot list keeps a typed reference alongside each index, so
-        // the selected receiver is recovered without unwrapping.
-        let mut sel = Select::new();
-        let mut slots: Vec<(usize, SideRx<'_, L, R>)> = Vec::new();
-        for (i, rx) in left.iter().enumerate() {
-            if let Some(rx) = rx {
-                sel.recv(rx);
-                slots.push((i, SideRx::Left(rx)));
-            }
-        }
-        for (i, rx) in right.iter().enumerate() {
-            if let Some(rx) = rx {
-                sel.recv(rx);
-                slots.push((left_count + i, SideRx::Right(rx)));
-            }
-        }
-        debug_assert!(!slots.is_empty());
-        let oper = sel.select();
-        let (slot, side) = &slots[oper.index()];
-        let slot = *slot;
-        let is_left = slot < left_count;
-
-        let event: Option<ElementEvent<L, R>> = match side {
-            SideRx::Left(rx) => match oper.recv(rx) {
-                Ok(Element::Item(i)) => Some(ElementEvent::Left(i)),
-                Ok(Element::Watermark(w)) => Some(ElementEvent::Watermark(w)),
-                Ok(Element::End) | Err(_) => None,
-            },
-            SideRx::Right(rx) => match oper.recv(rx) {
-                Ok(Element::Item(i)) => Some(ElementEvent::Right(i)),
-                Ok(Element::Watermark(w)) => Some(ElementEvent::Watermark(w)),
-                Ok(Element::End) | Err(_) => None,
-            },
-        };
-
+        let (slot, event) = recv_binary(&left, &right, max_batch, &mut pending);
         match event {
-            Some(ElementEvent::Left(item)) => {
-                metrics.record_in(1);
+            ElementEvent::LeftBatch(mut batch) => {
+                metrics.record_in(batch.len() as u64);
                 metrics.record_queue_depth(queue_depth(&left) + queue_depth(&right));
+                if max_batch > 1 {
+                    metrics.record_batch(batch.len() as u64);
+                }
                 let started = Instant::now();
-                op.on_left(item, &mut out);
+                if batch.len() == 1 {
+                    op.on_left(batch.pop().expect("single item"), &mut out);
+                } else {
+                    op.on_left_batch(batch, &mut out);
+                }
                 metrics.record_process_since(started);
-                if !flush_outputs(&mut out, &ports, &metrics) && has_outputs {
+                if !flush_outputs(&mut out, &ports, &metrics, max_batch) && has_outputs {
                     return;
                 }
             }
-            Some(ElementEvent::Right(item)) => {
-                metrics.record_in(1);
+            ElementEvent::RightBatch(mut batch) => {
+                metrics.record_in(batch.len() as u64);
                 metrics.record_queue_depth(queue_depth(&left) + queue_depth(&right));
+                if max_batch > 1 {
+                    metrics.record_batch(batch.len() as u64);
+                }
                 let started = Instant::now();
-                op.on_right(item, &mut out);
+                if batch.len() == 1 {
+                    op.on_right(batch.pop().expect("single item"), &mut out);
+                } else {
+                    op.on_right_batch(batch, &mut out);
+                }
                 metrics.record_process_since(started);
-                if !flush_outputs(&mut out, &ports, &metrics) && has_outputs {
+                if !flush_outputs(&mut out, &ports, &metrics, max_batch) && has_outputs {
                     return;
                 }
             }
-            Some(ElementEvent::Watermark(wm)) => {
+            ElementEvent::Watermark(wm) => {
                 metrics.record_watermark();
                 if let Some(combined) = merge.advance(slot, wm) {
                     op.on_watermark(combined, &mut out);
-                    let alive = flush_outputs(&mut out, &ports, &metrics)
-                        && broadcast_all(&ports, &Element::Watermark(combined));
+                    let alive = flush_outputs(&mut out, &ports, &metrics, max_batch)
+                        && broadcast_all(&ports, Element::Watermark(combined));
                     if !alive && has_outputs {
                         return;
                     }
                 }
             }
-            None => {
-                if is_left {
+            ElementEvent::Closed => {
+                if slot < left_count {
                     left[slot] = None;
                 } else {
                     right[slot - left_count] = None;
@@ -300,8 +508,8 @@ pub(crate) fn run_binary<L, R, O, Op>(
                 if let Some(combined) = merge.close(slot) {
                     if !merge.all_closed() {
                         op.on_watermark(combined, &mut out);
-                        let alive = flush_outputs(&mut out, &ports, &metrics)
-                            && broadcast_all(&ports, &Element::Watermark(combined));
+                        let alive = flush_outputs(&mut out, &ports, &metrics, max_batch)
+                            && broadcast_all(&ports, Element::Watermark(combined));
                         if !alive && has_outputs {
                             return;
                         }
@@ -309,8 +517,8 @@ pub(crate) fn run_binary<L, R, O, Op>(
                 }
                 if merge.all_closed() {
                     op.on_end(&mut out);
-                    flush_outputs(&mut out, &ports, &metrics);
-                    broadcast_all(&ports, &Element::End);
+                    flush_outputs(&mut out, &ports, &metrics, max_batch);
+                    broadcast_all(&ports, Element::End);
                     return;
                 }
             }
@@ -318,56 +526,87 @@ pub(crate) fn run_binary<L, R, O, Op>(
     }
 }
 
-enum ElementEvent<L, R> {
-    Left(L),
-    Right(R),
-    Watermark(Timestamp),
-}
-
-/// A still-open input of a binary node, tagged by side so the select
-/// loop can complete the chosen operation against the right type.
-enum SideRx<'a, L, R> {
-    Left(&'a Receiver<Element<L>>),
-    Right(&'a Receiver<Element<R>>),
-}
-
 /// The worker loop for router nodes: each item goes to exactly one
 /// port (all channels of that port, normally one); watermarks and
-/// end-of-stream go to every port.
+/// end-of-stream go to every port. Under batching the router drains a
+/// wakeup's worth of items, partitions them into per-port buffers in
+/// arrival order, and flushes every buffer before the next receive —
+/// so routing decisions (including round-robin) are identical at
+/// every batch size.
 pub(crate) fn run_router<T>(
     mut router: Router<T>,
     rxs: Vec<Receiver<Element<T>>>,
     ports: Ports<T>,
     metrics: Arc<NodeMetrics>,
+    max_batch: usize,
 ) where
-    T: Clone + Send,
+    T: Clone + Send + Sync,
 {
     let mut rxs: Vec<Option<_>> = rxs.into_iter().map(Some).collect();
     let mut merge = WatermarkMerge::new(rxs.len());
+    let mut pending: Option<(usize, Element<T>)> = None;
+    let mut port_bufs: Vec<Vec<T>> = ports.iter().map(|_| Vec::new()).collect();
     loop {
-        let (slot, received) = recv_any(&rxs);
+        let (slot, received) = match pending.take() {
+            Some((slot, marker)) => (slot, Some(marker)),
+            None => recv_any(&rxs),
+        };
         match received {
-            Some(Element::Item(item)) => {
-                metrics.record_in(1);
+            Some(el @ (Element::Item(_) | Element::Batch(_))) => {
+                let rx = rxs[slot].as_ref().expect("data from an open slot");
+                let (batch, ctrl) = drain_data(el, rx, max_batch);
+                if let Some(marker) = ctrl {
+                    pending = Some((slot, marker));
+                }
+                metrics.record_in(batch.len() as u64);
                 metrics.record_queue_depth(queue_depth(&rxs));
+                if max_batch > 1 {
+                    metrics.record_batch(batch.len() as u64);
+                }
                 let started = Instant::now();
-                let port = router.route(&item);
+                for item in batch {
+                    port_bufs[router.route(&item)].push(item);
+                }
                 metrics.record_process_since(started);
-                metrics.record_out(1);
-                let mut alive = false;
-                for tx in &ports[port] {
-                    if tx.send(Element::Item(item.clone())).is_ok() {
-                        alive = true;
+                // Flush every non-empty port buffer. The router dies
+                // when data it routed found no live receiver, exactly
+                // like the per-item engine did.
+                let mut routed_to_dead_port = false;
+                for (port, buf) in port_bufs.iter_mut().enumerate() {
+                    if buf.is_empty() {
+                        continue;
+                    }
+                    metrics.record_out(buf.len() as u64);
+                    let element = if buf.len() == 1 {
+                        Element::Item(buf.pop().expect("one item"))
+                    } else {
+                        Element::Batch(Batch::new(std::mem::take(buf)))
+                    };
+                    let channels = &ports[port];
+                    let mut alive = false;
+                    let mut element = Some(element);
+                    for (i, tx) in channels.iter().enumerate() {
+                        let payload = if i + 1 == channels.len() {
+                            element.take().expect("moved into last channel")
+                        } else {
+                            element.as_ref().expect("kept until last channel").clone()
+                        };
+                        if tx.send(payload).is_ok() {
+                            alive = true;
+                        }
+                    }
+                    if !alive {
+                        routed_to_dead_port = true;
                     }
                 }
-                if !alive {
+                if routed_to_dead_port {
                     return;
                 }
             }
             Some(Element::Watermark(wm)) => {
                 metrics.record_watermark();
                 if let Some(combined) = merge.advance(slot, wm) {
-                    if !broadcast_all(&ports, &Element::Watermark(combined)) {
+                    if !broadcast_all(&ports, Element::Watermark(combined)) {
                         return;
                     }
                 }
@@ -376,11 +615,11 @@ pub(crate) fn run_router<T>(
                 rxs[slot] = None;
                 if let Some(combined) = merge.close(slot) {
                     if !merge.all_closed() {
-                        broadcast_all(&ports, &Element::Watermark(combined));
+                        broadcast_all(&ports, Element::Watermark(combined));
                     }
                 }
                 if merge.all_closed() {
-                    broadcast_all(&ports, &Element::End);
+                    broadcast_all(&ports, Element::End);
                     return;
                 }
             }
@@ -389,7 +628,8 @@ pub(crate) fn run_router<T>(
 }
 
 /// The worker loop for source nodes: runs the user source, then
-/// closes the stream.
+/// flushes any partial batch and closes the stream.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_source<S>(
     mut source: S,
     name: String,
@@ -397,31 +637,32 @@ pub(crate) fn run_source<S>(
     stop: Arc<AtomicBool>,
     metrics: Arc<NodeMetrics>,
     errors: Arc<Mutex<Vec<Error>>>,
+    max_batch: usize,
+    batch_timeout: Duration,
 ) where
     S: Source,
 {
     let outputs: Vec<Sender<Element<S::Out>>> = ports.into_iter().flatten().collect();
-    let mut ctx = SourceContext::new(outputs.clone(), stop, metrics);
+    let mut ctx = SourceContext::new(outputs, stop, metrics, max_batch, batch_timeout);
     if let Err(reason) = source.run(&mut ctx) {
         errors
             .lock()
             .push(Error::SourceFailed { node: name, reason });
     }
-    for tx in &outputs {
-        let _ = tx.send(Element::End);
-    }
+    ctx.finish();
 }
 
 /// The worker loop for element-level sink nodes: the callback sees
 /// items, (merged) watermarks and the final end-of-stream marker —
 /// what a connector publisher needs to forward stream control through
-/// a broker topic.
+/// a broker topic. Batches are exploded into per-item calls, so the
+/// callback's view of the stream is identical at every batch size.
 pub(crate) fn run_element_sink<T, F>(
     mut f: F,
     rxs: Vec<Receiver<Element<T>>>,
     metrics: Arc<NodeMetrics>,
 ) where
-    T: Clone + Send,
+    T: Clone + Send + Sync,
     F: FnMut(Element<T>),
 {
     let mut rxs: Vec<Option<_>> = rxs.into_iter().map(Some).collect();
@@ -434,6 +675,16 @@ pub(crate) fn run_element_sink<T, F>(
                 metrics.record_queue_depth(queue_depth(&rxs));
                 let started = Instant::now();
                 f(Element::Item(item));
+                metrics.record_process_since(started);
+            }
+            Some(Element::Batch(batch)) => {
+                metrics.record_in(batch.len() as u64);
+                metrics.record_queue_depth(queue_depth(&rxs));
+                metrics.record_batch(batch.len() as u64);
+                let started = Instant::now();
+                for item in batch.into_vec() {
+                    f(Element::Item(item));
+                }
                 metrics.record_process_since(started);
             }
             Some(Element::Watermark(wm)) => {
@@ -462,7 +713,7 @@ pub(crate) fn run_element_sink<T, F>(
 /// until all inputs end.
 pub(crate) fn run_sink<T, F>(mut f: F, rxs: Vec<Receiver<Element<T>>>, metrics: Arc<NodeMetrics>)
 where
-    T: Clone + Send,
+    T: Clone + Send + Sync,
     F: FnMut(T),
 {
     let mut rxs: Vec<Option<_>> = rxs.into_iter().map(Some).collect();
@@ -477,6 +728,16 @@ where
                 f(item);
                 metrics.record_process_since(started);
             }
+            Some(Element::Batch(batch)) => {
+                metrics.record_in(batch.len() as u64);
+                metrics.record_queue_depth(queue_depth(&rxs));
+                metrics.record_batch(batch.len() as u64);
+                let started = Instant::now();
+                for item in batch.into_vec() {
+                    f(item);
+                }
+                metrics.record_process_since(started);
+            }
             Some(Element::Watermark(_)) => metrics.record_watermark(),
             Some(Element::End) | None => {
                 rxs[slot] = None;
@@ -489,6 +750,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::channel::bounded;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn watermark_merge_takes_minimum() {
@@ -524,5 +787,217 @@ mod tests {
         // Closing the last input pushes the combined watermark to MAX.
         assert_eq!(m.close(0), Some(Timestamp::MAX));
         assert!(m.all_closed());
+    }
+
+    /// A payload that counts how many times it is cloned, to pin the
+    /// broadcast fan-out contract: N downstream channels cost exactly
+    /// N−1 clones, because the original moves into the last send.
+    #[derive(Debug)]
+    struct CloneCounter(Arc<AtomicUsize>);
+
+    impl Clone for CloneCounter {
+        fn clone(&self) -> Self {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            CloneCounter(Arc::clone(&self.0))
+        }
+    }
+
+    #[test]
+    fn broadcast_moves_the_original_into_the_last_send() {
+        let clones = Arc::new(AtomicUsize::new(0));
+        for channels in 1..=4usize {
+            clones.store(0, Ordering::Relaxed);
+            let mut rxs = Vec::new();
+            let mut port = Vec::new();
+            for _ in 0..channels {
+                let (tx, rx) = bounded(4);
+                port.push(tx);
+                rxs.push(rx);
+            }
+            let ports: Ports<CloneCounter> = vec![port];
+            assert!(broadcast_all(
+                &ports,
+                Element::Item(CloneCounter(Arc::clone(&clones)))
+            ));
+            assert_eq!(
+                clones.load(Ordering::Relaxed),
+                channels - 1,
+                "{channels} channels must cost exactly {} clones",
+                channels - 1
+            );
+            for rx in &rxs {
+                assert!(rx.try_recv().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_batches_share_instead_of_cloning_items() {
+        let clones = Arc::new(AtomicUsize::new(0));
+        let (tx_a, rx_a) = bounded(4);
+        let (tx_b, rx_b) = bounded(4);
+        let ports: Ports<CloneCounter> = vec![vec![tx_a, tx_b]];
+        let batch = Batch::new(vec![
+            CloneCounter(Arc::clone(&clones)),
+            CloneCounter(Arc::clone(&clones)),
+        ]);
+        assert!(broadcast_all(&ports, Element::Batch(batch)));
+        // Two channels share one Arc'd batch: zero item clones on the
+        // way out...
+        assert_eq!(clones.load(Ordering::Relaxed), 0);
+        let first: Element<CloneCounter> = rx_a.try_recv().unwrap();
+        let second: Element<CloneCounter> = rx_b.try_recv().unwrap();
+        // ...one clone pass when the first consumer unwraps while the
+        // batch is still shared...
+        drop(first.into_items());
+        assert_eq!(clones.load(Ordering::Relaxed), 2);
+        // ...and the last consumer takes the items by move.
+        drop(second.into_items());
+        assert_eq!(clones.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn drain_data_stops_at_control_markers() {
+        let (tx, rx) = bounded(16);
+        tx.send(Element::Item(2)).unwrap();
+        tx.send(Element::Batch(Batch::new(vec![3, 4]))).unwrap();
+        tx.send(Element::Watermark(Timestamp::from_millis(9)))
+            .unwrap();
+        tx.send(Element::Item(5)).unwrap();
+        let (batch, ctrl) = drain_data(Element::Item(1), &rx, 64);
+        assert_eq!(batch, vec![1, 2, 3, 4]);
+        assert_eq!(ctrl, Some(Element::Watermark(Timestamp::from_millis(9))));
+        // The item after the watermark stays queued for the next wakeup.
+        assert_eq!(rx.try_recv(), Ok(Element::Item(5)));
+    }
+
+    mod watermark_merge_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any interleaving of advances and closes over four
+            /// inputs, the combined watermark (1) never regresses and
+            /// (2) always equals the minimum, over still-open inputs,
+            /// of the highest watermark each has reported — closed
+            /// inputs stop constraining progress immediately.
+            #[test]
+            fn combined_is_the_monotone_min_over_open_inputs(
+                ops in proptest::collection::vec(
+                    (0usize..4, 0u8..10, 0u64..1_000),
+                    1..200,
+                ),
+            ) {
+                let mut merge = WatermarkMerge::new(4);
+                let mut max_seen = [Timestamp::MIN; 4];
+                let mut open = [true; 4];
+                let mut combined = Timestamp::MIN;
+                for (input, kind, millis) in ops {
+                    let update = if kind < 8 {
+                        let wm = Timestamp::from_millis(millis);
+                        if wm > max_seen[input] {
+                            max_seen[input] = wm;
+                        }
+                        merge.advance(input, wm)
+                    } else {
+                        open[input] = false;
+                        merge.close(input)
+                    };
+                    if let Some(advanced) = update {
+                        prop_assert!(
+                            advanced > combined,
+                            "combined regressed: {:?} -> {:?}",
+                            combined,
+                            advanced
+                        );
+                        combined = advanced;
+                    }
+                    let floor = (0..4)
+                        .filter(|&i| open[i])
+                        .map(|i| max_seen[i])
+                        .min()
+                        .unwrap_or(Timestamp::MAX);
+                    prop_assert_eq!(
+                        combined,
+                        floor,
+                        "combined diverged from the open-input minimum"
+                    );
+                }
+            }
+
+            /// Closing inputs in any order eventually pushes the
+            /// combined watermark to MAX, and each close-step change
+            /// is an increase.
+            #[test]
+            fn closing_everything_releases_max(
+                advances in proptest::collection::vec(0u64..1_000, 4),
+                close_order in Just([0usize, 1, 2, 3]),
+            ) {
+                let mut merge = WatermarkMerge::new(4);
+                for (i, &millis) in advances.iter().enumerate() {
+                    merge.advance(i, Timestamp::from_millis(millis));
+                }
+                let mut last = Timestamp::MIN;
+                for &input in &close_order {
+                    if let Some(advanced) = merge.close(input) {
+                        prop_assert!(advanced > last);
+                        last = advanced;
+                    }
+                }
+                prop_assert!(merge.all_closed());
+                prop_assert_eq!(last, Timestamp::MAX);
+            }
+        }
+    }
+
+    /// Regression: an input that never advanced past MIN must stop
+    /// holding back the merged watermark the moment it closes — the
+    /// bug class where one finished (or idle) source froze event time
+    /// for every downstream window. Exercised through a real two-input
+    /// node, not just the merge struct.
+    #[test]
+    fn closed_idle_input_releases_downstream_watermarks() {
+        let (busy_tx, busy_rx) = bounded(16);
+        let (idle_tx, idle_rx) = bounded(16);
+        let (out_tx, out_rx) = bounded(16);
+        let metrics = Arc::new(NodeMetrics::new("merge"));
+        let worker = std::thread::spawn(move || {
+            run_unary(
+                crate::operators::Identity::new(),
+                vec![busy_rx, idle_rx],
+                vec![vec![out_tx]],
+                metrics,
+                1,
+            );
+        });
+        busy_tx
+            .send(Element::Watermark(Timestamp::from_millis(50)))
+            .unwrap();
+        // The idle input pins the merge at MIN; closing it must
+        // release the busy input's watermark (in either processing
+        // order — the merge only emits on a strict increase).
+        idle_tx.send(Element::End).unwrap();
+        let released: Element<i32> = out_rx.recv().unwrap();
+        assert_eq!(released, Element::Watermark(Timestamp::from_millis(50)));
+        // Only close the busy input after observing the release, so
+        // the End cannot race ahead of the watermark above.
+        busy_tx.send(Element::End).unwrap();
+        drop(busy_tx);
+        drop(idle_tx);
+        let got: Vec<Element<i32>> = out_rx.iter().collect();
+        assert_eq!(got, vec![Element::End]);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn drain_data_respects_max_batch() {
+        let (tx, rx) = bounded(16);
+        for i in 2..10 {
+            tx.send(Element::Item(i)).unwrap();
+        }
+        let (batch, ctrl) = drain_data(Element::Item(1), &rx, 4);
+        assert_eq!(batch, vec![1, 2, 3, 4]);
+        assert_eq!(ctrl, None);
+        assert_eq!(rx.len(), 5);
     }
 }

@@ -2,10 +2,11 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 
-use crate::element::Element;
+use crate::element::{Batch, Element};
 use crate::metrics::NodeMetrics;
 use crate::time::{Timestamp, Timestamped};
 
@@ -19,7 +20,7 @@ use crate::time::{Timestamp, Timestamped};
 /// the engine emits the end-of-stream marker on the source's behalf.
 pub trait Source: Send {
     /// The item type this source produces.
-    type Out: Clone + Send + 'static;
+    type Out: Clone + Send + Sync + 'static;
 
     /// Produces the stream. See the trait documentation for the
     /// contract.
@@ -34,12 +35,27 @@ pub trait Source: Send {
 
 /// Handle given to a [`Source`] for emitting data and watermarks and
 /// for observing cooperative-stop requests.
+///
+/// With a query batch size above one, consecutive [`emit`] calls are
+/// coalesced into a shared [`Batch`] that is forwarded when it
+/// reaches `max_batch` items, when the batch timeout elapses (checked
+/// on the next `emit`), or when a watermark or end-of-stream follows
+/// — so control markers are always batch boundaries. The timeout is
+/// emit-driven: a source that stops emitting mid-batch holds the
+/// partial batch until its next call, its watermark, or the end of
+/// its run, each of which flushes.
+///
+/// [`emit`]: SourceContext::emit
 #[derive(Debug)]
 pub struct SourceContext<T> {
     outputs: Vec<Sender<Element<T>>>,
     stop: Arc<AtomicBool>,
     metrics: Arc<NodeMetrics>,
     disconnected: bool,
+    buf: Vec<T>,
+    max_batch: usize,
+    batch_timeout: Duration,
+    deadline: Option<Instant>,
 }
 
 impl<T: Clone> SourceContext<T> {
@@ -47,12 +63,18 @@ impl<T: Clone> SourceContext<T> {
         outputs: Vec<Sender<Element<T>>>,
         stop: Arc<AtomicBool>,
         metrics: Arc<NodeMetrics>,
+        max_batch: usize,
+        batch_timeout: Duration,
     ) -> Self {
         SourceContext {
             outputs,
             stop,
             metrics,
             disconnected: false,
+            buf: Vec::new(),
+            max_batch,
+            batch_timeout,
+            deadline: None,
         }
     }
 
@@ -61,13 +83,27 @@ impl<T: Clone> SourceContext<T> {
     /// consumer is gone, in which case the source should return from
     /// [`Source::run`].
     pub fn emit(&mut self, item: T) -> bool {
-        self.metrics.record_out(1);
-        self.broadcast(Element::Item(item))
+        if self.max_batch <= 1 {
+            self.metrics.record_out(1);
+            return self.broadcast(Element::Item(item));
+        }
+        if self.buf.is_empty() {
+            self.deadline = Some(Instant::now() + self.batch_timeout);
+        }
+        self.buf.push(item);
+        if self.buf.len() >= self.max_batch
+            || self.deadline.is_some_and(|due| Instant::now() >= due)
+        {
+            self.flush_batch();
+        }
+        !self.disconnected
     }
 
     /// Emits a watermark: a promise that no later item will carry an
-    /// event time lower than `watermark`.
+    /// event time lower than `watermark`. Flushes any partial batch
+    /// first, so the watermark stays truthful for the items before it.
     pub fn emit_watermark(&mut self, watermark: Timestamp) -> bool {
+        self.flush_batch();
         self.broadcast(Element::Watermark(watermark))
     }
 
@@ -77,10 +113,48 @@ impl<T: Clone> SourceContext<T> {
         self.stop.load(Ordering::Relaxed) || self.disconnected
     }
 
-    fn broadcast(&mut self, element: Element<T>) -> bool {
-        let mut alive = false;
+    fn flush_batch(&mut self) {
+        self.deadline = None;
+        if self.buf.is_empty() {
+            return;
+        }
+        self.metrics.record_out(self.buf.len() as u64);
+        self.metrics.record_batch(self.buf.len() as u64);
+        let element = if self.buf.len() == 1 {
+            Element::Item(self.buf.pop().expect("one buffered item"))
+        } else {
+            Element::Batch(Batch::new(std::mem::take(&mut self.buf)))
+        };
+        self.broadcast(element);
+    }
+
+    /// Flushes any partial batch and closes the stream with one
+    /// end-of-stream marker per output. Called by the engine after
+    /// [`Source::run`] returns.
+    pub(crate) fn finish(mut self) {
+        self.flush_batch();
         for tx in &self.outputs {
-            if tx.send(element.clone()).is_ok() {
+            let _ = tx.send(Element::End);
+        }
+    }
+
+    fn broadcast(&mut self, element: Element<T>) -> bool {
+        // The original moves into the last send; only extra fan-out
+        // channels pay for a clone (an `Arc` bump for batches).
+        if self.outputs.is_empty() {
+            self.disconnected = true;
+            return false;
+        }
+        let mut alive = false;
+        let last = self.outputs.len() - 1;
+        let mut element = Some(element);
+        for (i, tx) in self.outputs.iter().enumerate() {
+            let payload = if i == last {
+                element.take().expect("moved into the last send")
+            } else {
+                element.as_ref().expect("kept until the last send").clone()
+            };
+            if tx.send(payload).is_ok() {
                 alive = true;
             }
         }
@@ -155,7 +229,7 @@ where
 impl<I> Source for IteratorSource<I>
 where
     I: IntoIterator + Send,
-    I::Item: Clone + Send + 'static,
+    I::Item: Clone + Send + Sync + 'static,
 {
     type Out = I::Item;
 
@@ -223,7 +297,7 @@ impl<T> TimedBatchSource<T> {
     }
 }
 
-impl<T: Clone + Send + 'static> Source for TimedBatchSource<T> {
+impl<T: Clone + Send + Sync + 'static> Source for TimedBatchSource<T> {
     type Out = T;
 
     fn run(&mut self, ctx: &mut SourceContext<T>) -> Result<(), String> {
@@ -263,11 +337,20 @@ mod tests {
     fn test_ctx<T: Clone>(
         cap: usize,
     ) -> (SourceContext<T>, crossbeam::channel::Receiver<Element<T>>) {
+        batched_ctx(cap, 1)
+    }
+
+    fn batched_ctx<T: Clone>(
+        cap: usize,
+        max_batch: usize,
+    ) -> (SourceContext<T>, crossbeam::channel::Receiver<Element<T>>) {
         let (tx, rx) = bounded(cap);
         let ctx = SourceContext::new(
             vec![tx],
             Arc::new(AtomicBool::new(false)),
             Arc::new(NodeMetrics::new("test")),
+            max_batch,
+            Duration::from_secs(1),
         );
         (ctx, rx)
     }
@@ -358,10 +441,48 @@ mod tests {
     fn stop_flag_halts_source() {
         let (tx, rx) = bounded(1024);
         let stop = Arc::new(AtomicBool::new(true));
-        let mut ctx = SourceContext::new(vec![tx], stop, Arc::new(NodeMetrics::new("s")));
+        let mut ctx = SourceContext::new(
+            vec![tx],
+            stop,
+            Arc::new(NodeMetrics::new("s")),
+            1,
+            Duration::ZERO,
+        );
         let mut src = IteratorSource::new(0..1_000_000);
         src.run(&mut ctx).unwrap();
         drop(ctx);
         assert_eq!(rx.iter().count(), 0);
+    }
+
+    #[test]
+    fn batched_context_coalesces_and_flushes_on_watermark() {
+        let (mut ctx, rx) = batched_ctx(64, 4);
+        for item in 0..10 {
+            assert!(ctx.emit(item));
+        }
+        assert!(ctx.emit_watermark(Timestamp::from_millis(99)));
+        ctx.finish();
+        let got: Vec<_> = rx.iter().collect();
+        // 10 items at max_batch 4: two full batches, then the partial
+        // pair flushed by the watermark, then the end marker.
+        assert_eq!(
+            got,
+            vec![
+                Element::Batch(Batch::new(vec![0, 1, 2, 3])),
+                Element::Batch(Batch::new(vec![4, 5, 6, 7])),
+                Element::Batch(Batch::new(vec![8, 9])),
+                Element::Watermark(Timestamp::from_millis(99)),
+                Element::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn finish_flushes_single_item_as_item() {
+        let (mut ctx, rx) = batched_ctx(64, 8);
+        assert!(ctx.emit(7));
+        ctx.finish();
+        let got: Vec<_> = rx.iter().collect();
+        assert_eq!(got, vec![Element::Item(7), Element::End]);
     }
 }

@@ -134,4 +134,30 @@ proptest! {
         let expected: Vec<u64> = (0..n as u64).map(|x| x + stages as u64).collect();
         prop_assert_eq!(got, expected);
     }
+
+    /// Exactly-once delivery is independent of the micro-batch size:
+    /// any combination of batch size, channel capacity and stage
+    /// count delivers the same multiset as item-at-a-time processing.
+    #[test]
+    fn batched_linear_graphs_deliver_exactly_once(
+        n in 1usize..2_000,
+        capacity in 1usize..64,
+        batch in 1usize..256,
+        stages in 0usize..4,
+    ) {
+        let mut qb = QueryBuilder::new("prop-batch");
+        qb.channel_capacity(capacity);
+        qb.batch_size(batch);
+        let src = qb.source("src", IteratorSource::new(0..n as u64));
+        let mut stream = src;
+        for k in 0..stages {
+            stream = qb.map(format!("s{k}"), &stream, |x: u64| x + 1);
+        }
+        let out = qb.collect_sink("out", &stream);
+        qb.build().unwrap().run().join().unwrap();
+        let mut got = out.take();
+        got.sort_unstable();
+        let expected: Vec<u64> = (0..n as u64).map(|x| x + stages as u64).collect();
+        prop_assert_eq!(got, expected);
+    }
 }

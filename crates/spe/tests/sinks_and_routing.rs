@@ -21,6 +21,8 @@ fn element_sink_sees_items_watermarks_and_end() {
             Element::Item(t) => format!("item:{}", t.as_millis()),
             Element::Watermark(w) => format!("wm:{}", w.as_millis()),
             Element::End => "end".to_string(),
+            // The engine explodes batches before element sinks.
+            Element::Batch(_) => unreachable!("element sinks see items, not batches"),
         });
     });
     qb.build().unwrap().run().join().unwrap();

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use strata::usecase::thermal::{self, ThermalPipelineOptions};
-use strata::{Strata, StrataConfig};
+use strata::{ConnectorMode, ExpertReport, Strata, StrataConfig, Value};
 use strata_amsim::{MachineConfig, PbfLbMachine};
 use strata_net::{BrokerClient, BrokerServer};
 use strata_spe::QueryMetrics;
@@ -171,6 +171,91 @@ fn full_pipeline_conserves_flow_and_exposes_unified_metrics() {
     assert!(remote.contains("net_connections_total 1"), "net metrics");
     assert!(remote.contains("# TYPE net_request_ns histogram"), "net");
     server.shutdown();
+}
+
+/// Renders a report as the canonical persisted form: event-time
+/// metadata plus the payload in key order. Wall-clock fields
+/// (`ingest_ns`, `latency`, `qos_met`) are excluded — they vary run to
+/// run by construction; everything else must not.
+fn canonical_report(report: &ExpertReport) -> String {
+    let m = report.tuple.metadata();
+    let mut line = format!(
+        "ts={} job={} layer={} specimen={:?} portion={:?}",
+        m.timestamp.as_millis(),
+        m.job,
+        m.layer,
+        m.specimen,
+        m.portion
+    );
+    for (key, value) in report.tuple.payload().iter() {
+        let rendered = match value {
+            // Images would dump megabytes under Debug; a dimension
+            // plus pixel checksum pins them just as hard.
+            Value::Image(img) => {
+                let sum: u64 = img.pixels().iter().fold(0u64, |acc, &px| {
+                    acc.wrapping_mul(131).wrapping_add(px as u64)
+                });
+                format!("image({}x{}#{sum})", img.width(), img.height())
+            }
+            other => format!("{other:?}"),
+        };
+        line.push_str(&format!(" {key}={rendered}"));
+    }
+    line
+}
+
+/// Runs the full thermal pipeline (amsim → pubsub → spe → kv) against
+/// the seeded machine and returns the canonically persisted report
+/// set, sorted so run-order differences in delivery cannot mask or
+/// fake content differences.
+fn run_thermal_reports(config: StrataConfig, seed: u32) -> Vec<String> {
+    let strata = Strata::new(config).unwrap();
+    let (running, reports) = thermal::deploy_pipeline(
+        &strata,
+        small_machine(seed),
+        ThermalPipelineOptions {
+            cell_px: 4,
+            depth_l: 10,
+            layers: 0..8,
+            ..ThermalPipelineOptions::default()
+        },
+    )
+    .unwrap();
+    let mut persisted = Vec::new();
+    while let Ok(report) = reports.recv_timeout(Duration::from_secs(120)) {
+        persisted.push(canonical_report(&report));
+    }
+    running.join().unwrap();
+    persisted.sort();
+    persisted
+}
+
+/// The paper's pipeline is a deterministic function of the build data:
+/// same seed, same reports — run to run, batched and unbatched, and
+/// with the connector broker in-process or across TCP. This is the
+/// end-to-end guarantee the batch-equivalence suite pins at the
+/// operator level.
+#[test]
+fn same_seed_yields_identical_reports_everywhere() {
+    const SEED: u32 = 9;
+    let batched = run_thermal_reports(StrataConfig::default(), SEED);
+    assert!(!batched.is_empty(), "the pipeline delivered reports");
+
+    let again = run_thermal_reports(StrataConfig::default(), SEED);
+    assert_eq!(batched, again, "two batched runs diverged");
+
+    let unbatched = run_thermal_reports(StrataConfig::default().batch_size(1), SEED);
+    assert_eq!(batched, unbatched, "batching changed the results");
+
+    let remote_broker = Strata::new(StrataConfig::default()).unwrap();
+    let mut server = BrokerServer::bind("127.0.0.1:0", remote_broker.broker().clone()).unwrap();
+    let addr = server.local_addr().to_string();
+    let remote = run_thermal_reports(
+        StrataConfig::default().connector_mode(ConnectorMode::Remote { addr }),
+        SEED,
+    );
+    server.shutdown();
+    assert_eq!(batched, remote, "the TCP connector changed the results");
 }
 
 /// The set of exposed metric families is part of the public surface:
